@@ -1,0 +1,107 @@
+// E7 — Ablations of the protocol's knobs (DESIGN.md design-choice index).
+//
+//   (a) winning quorum n - f + extra: waiting for more than n - f responses
+//       trades detection latency for fewer false suspicions;
+//   (b) pacing Delta: faster cadence = faster detection, more messages;
+//   (c) accept_late_responses: the Section-6 improvement — counting
+//       responses that arrive during the pacing window slashes false
+//       suspicions at zero protocol cost.
+//
+// Expected shape: (a) latency grows with extra quorum, false suspicions
+// fall; (b) detection ~ Delta + delay, messages ~ 1/Delta; (c) late-response
+// acceptance strictly reduces false suspicions.
+#include <iostream>
+
+#include "common/argparse.h"
+#include "exp_common.h"
+#include "metrics/table.h"
+
+using namespace mmrfd;
+using metrics::Table;
+
+namespace {
+
+bench::Workload base_workload(const ArgParser& args, std::uint64_t seed) {
+  bench::Workload w;
+  w.n = static_cast<std::uint32_t>(args.get_int("n"));
+  w.f = static_cast<std::uint32_t>(args.get_int("f"));
+  w.seed = seed;
+  w.crashes = 3;
+  w.horizon = from_seconds(static_cast<double>(args.get_int("horizon")));
+  w.crash_window_end = w.horizon - from_seconds(20);
+  w.preset = net::DelayPreset::kPareto;  // stressful tails
+  w.mean_delay = from_millis(20);
+  w.period = from_millis(500);
+  return w;
+}
+
+struct Agg {
+  SampleSet latency;
+  std::size_t false_susp{0};
+  std::uint64_t msgs{0};
+  bool complete{true};
+};
+
+template <typename Mutator>
+Agg sweep(const ArgParser& args, std::uint64_t seeds, Mutator mutate) {
+  Agg a;
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    auto w = base_workload(args, seed);
+    mutate(w);
+    const auto m = bench::run_mmr(w);
+    bench::append_samples(a.latency, m.detection_latencies);
+    a.false_susp += m.false_suspicions;
+    a.msgs += m.messages_sent;
+    a.complete = a.complete && m.strong_completeness;
+  }
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("E7: protocol ablations (quorum slack, pacing, late responses)");
+  args.flag("n", "20", "system size")
+      .flag("f", "5", "fault tolerance")
+      .flag("seeds", "3", "seeds per cell")
+      .flag("horizon", "60", "simulated seconds")
+      .flag("csv", "false", "emit CSV");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto seeds = static_cast<std::uint64_t>(args.get_int("seeds"));
+  std::cout << "# E7a: winning-quorum slack (wait for n - f + extra)\n\n";
+  Table qa({"extra_quorum", "mean_detect_s", "max_detect_s", "false_susp",
+            "complete"});
+  for (const std::uint32_t extra : {0u, 1u, 2u, 4u}) {
+    const auto a =
+        sweep(args, seeds, [&](bench::Workload& w) { w.extra_quorum = extra; });
+    qa.add_row({Table::num(std::uint64_t{extra}), Table::num(a.latency.mean()),
+                Table::num(a.latency.max()),
+                Table::num(std::uint64_t{a.false_susp}),
+                a.complete ? "yes" : "NO"});
+  }
+  qa.print(std::cout);
+
+  std::cout << "\n# E7b: pacing Delta\n\n";
+  Table pa({"pacing_ms", "mean_detect_s", "false_susp", "msgs_total"});
+  for (const int ms : {100, 250, 500, 1000, 2000}) {
+    const auto a = sweep(args, seeds, [&](bench::Workload& w) {
+      w.period = from_millis(ms);
+    });
+    pa.add_row({Table::num(std::int64_t{ms}), Table::num(a.latency.mean()),
+                Table::num(std::uint64_t{a.false_susp}), Table::num(a.msgs)});
+  }
+  pa.print(std::cout);
+
+  std::cout << "\n# E7c: late-response acceptance (the Section-6 tweak)\n\n";
+  Table la({"accept_late", "mean_detect_s", "false_susp"});
+  for (const bool accept : {true, false}) {
+    const auto a = sweep(args, seeds, [&](bench::Workload& w) {
+      w.accept_late_responses = accept;
+    });
+    la.add_row({accept ? "yes" : "no", Table::num(a.latency.mean()),
+                Table::num(std::uint64_t{a.false_susp})});
+  }
+  la.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E2 — Detection time vs the fault-tolerance parameter f (fixed n).
+//
+// f shapes the protocol directly: a query terminates on n - f responses, so
+// larger f means earlier termination (fewer responders awaited) and *faster*
+// suspicion of silent processes — but also fewer witnesses per round. The
+// timer-based baseline has no f dependence at all (flat reference line).
+//
+// Expected shape: async detection latency decreases gently as f grows
+// (quorum shrinks => a round is not held back by stragglers), while the
+// heartbeat line stays flat at ~Theta.
+#include <iostream>
+
+#include "common/argparse.h"
+#include "exp_common.h"
+#include "metrics/table.h"
+
+using namespace mmrfd;
+using metrics::Table;
+
+int main(int argc, char** argv) {
+  ArgParser args("E2: detection time vs f (n fixed)");
+  args.flag("n", "60", "system size")
+      .flag("seeds", "3", "seeds per configuration")
+      .flag("crashes", "5", "crashes per run")
+      .flag("horizon", "60", "simulated seconds per run")
+      .flag("period", "1000", "Delta / heartbeat period (ms)")
+      .flag("timeout", "2000", "baseline timeout Theta (ms)")
+      .flag("csv", "false", "emit CSV");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<std::uint32_t>(args.get_int("n"));
+  std::cout << "# E2: failure detection time vs f  (n = " << n
+            << ", exponential delays)\n\n";
+
+  Table table({"f", "quorum", "detector", "mean_s", "max_s", "false_susp"});
+  const std::vector<std::uint32_t> fs = {1, 5, 10, 15, 20, 25, n / 2 - 1};
+
+  for (const std::uint32_t f : fs) {
+    for (const std::string detector : {"mmr", "heartbeat"}) {
+      SampleSet latencies;
+      std::size_t false_susp = 0;
+      for (std::uint64_t seed = 1;
+           seed <= static_cast<std::uint64_t>(args.get_int("seeds")); ++seed) {
+        bench::Workload w;
+        w.n = n;
+        w.f = f;
+        w.seed = seed;
+        w.crashes =
+            std::min<std::size_t>(static_cast<std::size_t>(args.get_int("crashes")), f);
+        w.horizon = from_seconds(static_cast<double>(args.get_int("horizon")));
+        w.crash_window_end = w.horizon - from_seconds(20);
+        w.period = from_millis(static_cast<double>(args.get_int("period")));
+        w.timeout = from_millis(static_cast<double>(args.get_int("timeout")));
+        const auto m = bench::run_detector(detector, w);
+        bench::append_samples(latencies, m.detection_latencies);
+        false_susp += m.false_suspicions;
+      }
+      table.add_row({Table::num(std::uint64_t{f}),
+                     Table::num(std::uint64_t{n - f}), detector,
+                     Table::num(latencies.mean()),
+                     Table::num(latencies.max()),
+                     Table::num(std::uint64_t{false_susp})});
+    }
+  }
+
+  if (args.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+// E4 — Message cost vs system size.
+//
+// All-to-all query-response is a 2(n-1)-messages-per-round exchange versus
+// (n-1) for plain heartbeat: the asynchrony is bought with one extra message
+// phase. Gossip's counter vectors make its *bytes* quadratic-ish per tick
+// even though its message count matches heartbeat. The table reports
+// messages and bytes per process per second (failure-free run, equal 1 s
+// cadence for every detector).
+//
+// Expected shape: msgs/proc/s — mmr ~ 2(n-1), heartbeat ~ (n-1), gossip
+// ~ (n-1); bytes/proc/s — mmr close to heartbeat when suspicion sets are
+// empty (13-byte responses, 25-byte queries), gossip grows with 8n payload.
+#include <iostream>
+
+#include "common/argparse.h"
+#include "exp_common.h"
+#include "metrics/table.h"
+
+using namespace mmrfd;
+using metrics::Table;
+
+int main(int argc, char** argv) {
+  ArgParser args("E4: message and byte cost vs n (failure-free)");
+  args.flag("sizes", "10,20,40,60,100", "comma-separated n values")
+      .flag("horizon", "30", "simulated seconds")
+      .flag("period", "1000", "cadence (ms) for every detector")
+      .flag("csv", "false", "emit CSV");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto horizon = static_cast<double>(args.get_int("horizon"));
+  std::cout << "# E4: message cost per process per second vs n "
+            << "(no failures, 1 s cadence)\n\n";
+
+  Table table({"n", "detector", "msgs_total", "msgs_per_proc_s",
+               "bytes_per_proc_s", "bytes_per_msg"});
+
+  std::vector<std::uint32_t> sizes;
+  {
+    std::string s = args.get("sizes");
+    for (std::size_t pos = 0; pos < s.size();) {
+      const auto comma = s.find(',', pos);
+      sizes.push_back(static_cast<std::uint32_t>(
+          std::stoul(s.substr(pos, comma - pos))));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  for (const std::uint32_t n : sizes) {
+    for (const std::string detector : {"mmr", "heartbeat", "gossip"}) {
+      bench::Workload w;
+      w.n = n;
+      w.f = (n + 3) / 4;
+      w.seed = 1;
+      w.crashes = 0;
+      w.horizon = from_seconds(horizon);
+      w.period = from_millis(static_cast<double>(args.get_int("period")));
+      w.timeout = 2 * w.period;
+      const auto m = bench::run_detector(detector, w);
+      const double per_proc_s =
+          static_cast<double>(m.messages_sent) / n / horizon;
+      const double bytes_per_proc_s =
+          static_cast<double>(m.bytes_sent) / n / horizon;
+      table.add_row(
+          {Table::num(std::uint64_t{n}), detector,
+           Table::num(m.messages_sent), Table::num(per_proc_s, 1),
+           Table::num(bytes_per_proc_s, 1),
+           Table::num(m.messages_sent
+                          ? static_cast<double>(m.bytes_sent) /
+                                static_cast<double>(m.messages_sent)
+                          : 0.0,
+                      1)});
+    }
+  }
+
+  if (args.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,225 @@
+// E11 — Replicated-log (state-machine replication) end-to-end cost.
+//
+// Every replica submits a batch of commands; one replica (a frequent
+// coordinator) crashes mid-run. We measure the time until every command
+// from correct replicas is decided at every correct replica, the number of
+// log slots consumed, and the no-op overhead — per failure detector.
+//
+// Expected shape: completion time ≈ batch drain time + (detector's
+// suspicion latency whenever a crashed coordinator blocks a slot). As in
+// E6, the async detector's latency advantage over padded timeouts
+// multiplies: the crashed replica coordinates every n-th slot, so every
+// n-th slot pays the detection latency until the crash is known.
+#include <iostream>
+#include <set>
+
+#include "baselines/heartbeat.h"
+#include "common/argparse.h"
+#include "common/stats.h"
+#include "consensus/replicated_log.h"
+#include "metrics/table.h"
+#include "net/delay_model.h"
+#include "runtime/mmr_host.h"
+
+using namespace mmrfd;
+using namespace mmrfd::consensus;
+using metrics::Table;
+
+namespace {
+
+class OracleFd final : public core::FailureDetector {
+ public:
+  explicit OracleFd(const std::vector<bool>& crashed) : crashed_(crashed) {}
+  std::vector<ProcessId> suspected() const override {
+    std::vector<ProcessId> out;
+    for (std::uint32_t i = 0; i < crashed_.size(); ++i) {
+      if (crashed_[i]) out.push_back(ProcessId{i});
+    }
+    return out;
+  }
+  bool is_suspected(ProcessId id) const override {
+    return crashed_.at(id.value);
+  }
+
+ private:
+  const std::vector<bool>& crashed_;
+};
+
+struct Outcome {
+  bool done{false};
+  double finish_s{0.0};
+  std::uint64_t slots{0};
+  double noop_fraction{0.0};
+};
+
+Outcome run_one(const std::string& detector, std::uint32_t n,
+                std::uint32_t cmds_per_replica, std::uint64_t seed,
+                Duration horizon) {
+  sim::Simulation sim;
+  std::vector<bool> crashed(n, false);
+
+  // Failure-detector substrate.
+  std::vector<std::unique_ptr<OracleFd>> oracles;
+  std::unique_ptr<runtime::MmrNetwork> fd_net;
+  std::vector<std::unique_ptr<runtime::MmrHost>> mmr_hosts;
+  std::unique_ptr<baselines::HeartbeatNetwork> hb_net;
+  std::vector<std::unique_ptr<baselines::HeartbeatDetector>> hb_detectors;
+  auto fd_for = [&](ProcessId id) -> const core::FailureDetector& {
+    if (detector == "perfect") return *oracles[id.value];
+    if (detector == "mmr") return mmr_hosts[id.value]->detector();
+    return *hb_detectors[id.value];
+  };
+  if (detector == "perfect") {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      oracles.push_back(std::make_unique<OracleFd>(crashed));
+    }
+  } else if (detector == "mmr") {
+    fd_net = std::make_unique<runtime::MmrNetwork>(
+        sim, net::Topology::full(n),
+        net::make_preset(net::DelayPreset::kExponential, from_millis(2)),
+        derive_seed(seed, "e11.fd"));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      runtime::MmrHostConfig hc;
+      hc.detector.self = ProcessId{i};
+      hc.detector.n = n;
+      hc.detector.f = n / 3;
+      hc.pacing = from_millis(50);
+      hc.initial_delay = from_millis(3 * i);
+      mmr_hosts.push_back(
+          std::make_unique<runtime::MmrHost>(sim, *fd_net, hc));
+    }
+  } else {
+    hb_net = std::make_unique<baselines::HeartbeatNetwork>(
+        sim, net::Topology::full(n),
+        net::make_preset(net::DelayPreset::kExponential, from_millis(2)),
+        derive_seed(seed, "e11.hb"));
+    for (std::uint32_t i = 0; i < n; ++i) {
+      baselines::HeartbeatConfig hc;
+      hc.self = ProcessId{i};
+      hc.n = n;
+      hc.period = from_millis(50);
+      hc.timeout = from_millis(200);
+      hc.initial_delay = from_millis(3 * i);
+      hb_detectors.push_back(std::make_unique<baselines::HeartbeatDetector>(
+          sim, *hb_net, hc));
+    }
+  }
+
+  LogNetwork log_net(
+      sim, net::Topology::full(n),
+      net::make_preset(net::DelayPreset::kExponential, from_millis(2)),
+      derive_seed(seed, "e11.log"));
+  std::vector<std::unique_ptr<ReplicatedLog>> replicas;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ReplicatedLogConfig cfg;
+    cfg.self = ProcessId{i};
+    cfg.n = n;
+    replicas.push_back(std::make_unique<ReplicatedLog>(
+        sim, log_net, cfg, fd_for(ProcessId{i})));
+  }
+
+  for (auto& h : mmr_hosts) h->start();
+  for (auto& d : hb_detectors) d->start();
+  for (auto& r : replicas) r->start();
+
+  // Workload: every replica submits its batch immediately; p0 crashes at
+  // 200 ms (it coordinates slots 1, n+1, 2n+1, ... — a worst-ish case).
+  std::set<Value> expected;
+  for (std::uint32_t r = 0; r < n; ++r) {
+    for (std::uint32_t k = 0; k < cmds_per_replica; ++k) {
+      const Value cmd = make_command(ProcessId{r}, k);
+      replicas[r]->submit(cmd);
+      if (r != 0) expected.insert(cmd);  // p0's unchosen commands may die
+    }
+  }
+  sim.schedule_at(from_millis(200), [&] {
+    crashed[0] = true;
+    replicas[0]->crash();
+    if (!mmr_hosts.empty()) mmr_hosts[0]->crash();
+    if (!hb_detectors.empty()) hb_detectors[0]->crash();
+  });
+
+  // Run until every correct replica's log covers `expected`.
+  auto covered = [&] {
+    for (std::uint32_t i = 1; i < n; ++i) {
+      std::set<Value> got;
+      for (Value v : replicas[i]->log()) {
+        if (v != kNoop) got.insert(v);
+      }
+      for (Value v : expected) {
+        if (got.find(v) == got.end()) return false;
+      }
+    }
+    return true;
+  };
+  Outcome out;
+  while (sim.now() < horizon) {
+    sim.run_for(from_millis(50));
+    if (covered()) {
+      out.done = true;
+      break;
+    }
+  }
+  out.finish_s = to_seconds(sim.now());
+  out.slots = replicas[1]->log().size();
+  std::uint64_t noops = 0;
+  for (Value v : replicas[1]->log()) {
+    if (v == kNoop) ++noops;
+  }
+  out.noop_fraction = out.slots == 0 ? 0.0
+                                     : static_cast<double>(noops) /
+                                           static_cast<double>(out.slots);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("E11: replicated-log completion time per failure detector");
+  args.flag("n", "5", "replicas")
+      .flag("cmds", "10", "commands per replica")
+      .flag("seeds", "3", "seeds per cell")
+      .flag("horizon", "120", "simulated seconds cap")
+      .flag("csv", "false", "emit CSV");
+  if (!args.parse(argc, argv)) return 0;
+
+  const auto n = static_cast<std::uint32_t>(args.get_int("n"));
+  const auto cmds = static_cast<std::uint32_t>(args.get_int("cmds"));
+  const auto seeds = static_cast<std::uint64_t>(args.get_int("seeds"));
+  const auto horizon =
+      from_seconds(static_cast<double>(args.get_int("horizon")));
+
+  std::cout << "# E11: time to replicate " << cmds << " cmds x " << n
+            << " replicas with p0 (a rotating coordinator) crashing at "
+               "200 ms\n\n";
+
+  Table table({"detector", "done", "mean_finish_s", "max_finish_s",
+               "mean_slots", "noop_frac"});
+  for (const std::string detector : {"perfect", "mmr", "heartbeat"}) {
+    SampleSet finish;
+    SampleSet slots;
+    SampleSet noop;
+    std::size_t done = 0;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const auto out = run_one(detector, n, cmds, seed, horizon);
+      if (out.done) {
+        ++done;
+        finish.add(out.finish_s);
+        slots.add(static_cast<double>(out.slots));
+        noop.add(out.noop_fraction);
+      }
+    }
+    table.add_row({detector,
+                   Table::num(std::uint64_t{done}) + "/" +
+                       Table::num(std::uint64_t{seeds}),
+                   Table::num(finish.mean()), Table::num(finish.max()),
+                   Table::num(slots.mean(), 0), Table::num(noop.mean(), 2)});
+  }
+
+  if (args.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}

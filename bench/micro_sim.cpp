@@ -1,0 +1,83 @@
+// Micro-benchmarks of the simulation substrate: event throughput bounds how
+// large an experiment the harness can run per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+using namespace mmrfd;
+
+namespace {
+
+void BM_ScheduleFire(benchmark::State& state) {
+  // Steady-state schedule+fire pairs through the heap.
+  sim::Simulation sim;
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      sim.schedule(from_millis(1), [] {});
+    }
+    sim.run_all();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_ScheduleFire)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ScheduleCancel(benchmark::State& state) {
+  // The baseline detectors' timer pattern: arm, then cancel on heartbeat.
+  sim::Simulation sim;
+  for (auto _ : state) {
+    const auto id = sim.schedule(from_seconds(3600), [] {});
+    sim.cancel(id);
+    if (sim.events_pending() > 100000) sim.run_all();  // drain tombstones
+  }
+  sim.run_all();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScheduleCancel);
+
+void BM_NetworkDelivery(benchmark::State& state) {
+  // Full path: send -> delay sample -> heap -> handler.
+  using Msg = std::uint64_t;
+  sim::Simulation sim;
+  net::Network<Msg> network(sim, net::Topology::full(2),
+                            std::make_unique<net::ExponentialDelay>(
+                                from_millis(1), from_millis(1)),
+                            1);
+  std::uint64_t sink = 0;
+  network.set_handler(ProcessId{1},
+                      [&](ProcessId, const Msg& m) { sink += m; });
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      network.send(ProcessId{0}, ProcessId{1}, i);
+    }
+    sim.run_all();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_NetworkDelivery)->Arg(256)->Arg(4096);
+
+void BM_RngExponential(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  double acc = 0;
+  for (auto _ : state) acc += rng.exponential(1.0);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_RngNextBelow(benchmark::State& state) {
+  Xoshiro256 rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) acc += rng.next_below(12345);
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngNextBelow);
+
+}  // namespace
+
+BENCHMARK_MAIN();

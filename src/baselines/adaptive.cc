@@ -1,0 +1,122 @@
+#include "baselines/adaptive.h"
+
+#include <cassert>
+
+namespace mmrfd::baselines {
+
+ArrivalPredictor::ArrivalPredictor(std::size_t window, Duration period)
+    : capacity_(window), period_s_(to_seconds(period)) {
+  assert(capacity_ >= 1);
+}
+
+void ArrivalPredictor::observe(TimePoint now) {
+  if (last_arrival_) {
+    const double interval = to_seconds(now - *last_arrival_);
+    if (intervals_.size() < capacity_) {
+      intervals_.push_back(interval);
+    } else {
+      intervals_[next_slot_] = interval;
+      next_slot_ = (next_slot_ + 1) % capacity_;
+    }
+  }
+  last_arrival_ = now;
+}
+
+std::optional<TimePoint> ArrivalPredictor::predicted_next() const {
+  if (!last_arrival_) return std::nullopt;
+  double mean = period_s_;
+  if (!intervals_.empty()) {
+    mean = 0.0;
+    for (double x : intervals_) mean += x;
+    mean /= static_cast<double>(intervals_.size());
+  }
+  return *last_arrival_ + from_seconds(mean);
+}
+
+AdaptiveDetector::AdaptiveDetector(sim::Simulation& simulation,
+                                   HeartbeatNetwork& network,
+                                   const AdaptiveConfig& config,
+                                   core::SuspicionObserver* observer)
+    : sim_(simulation),
+      net_(network),
+      config_(config),
+      observer_(observer),
+      last_seq_(config.n, 0),
+      predictors_(config.n, ArrivalPredictor(config.window, config.period)),
+      timers_(config.n, sim::kNoEvent),
+      suspected_(config.n, false) {
+  assert(config_.n > 1);
+  net_.set_handler(id(), [this](ProcessId from, const HeartbeatMessage& m) {
+    handle(from, m);
+  });
+}
+
+void AdaptiveDetector::start() {
+  assert(!started_);
+  started_ = true;
+  sim_.schedule(config_.initial_delay, [this] {
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+      const ProcessId peer{i};
+      if (peer != id()) arm_timer(peer);
+    }
+    tick();
+  });
+}
+
+void AdaptiveDetector::crash() {
+  crashed_ = true;
+  net_.crash(id());
+}
+
+void AdaptiveDetector::tick() {
+  if (crashed_) return;
+  ++seq_;
+  net_.broadcast(id(), HeartbeatMessage{seq_});
+  sim_.schedule(config_.period, [this] { tick(); });
+}
+
+void AdaptiveDetector::handle(ProcessId from, const HeartbeatMessage& msg) {
+  if (crashed_) return;
+  if (msg.seq <= last_seq_[from.value]) return;
+  last_seq_[from.value] = msg.seq;
+  predictors_[from.value].observe(sim_.now());
+  if (suspected_[from.value]) {
+    suspected_[from.value] = false;
+    if (observer_ != nullptr) observer_->on_cleared(from, 0);
+  }
+  arm_timer(from);
+}
+
+void AdaptiveDetector::arm_timer(ProcessId peer) {
+  sim_.cancel(timers_[peer.value]);
+  const auto predicted = predictors_[peer.value].predicted_next();
+  // Before any arrival the prediction is one period from now.
+  const TimePoint base = predicted.value_or(sim_.now() + config_.period);
+  const TimePoint expiry =
+      std::max(base, sim_.now()) + config_.safety_margin;
+  timers_[peer.value] =
+      sim_.schedule_at(expiry, [this, peer] { expire(peer); });
+}
+
+void AdaptiveDetector::expire(ProcessId peer) {
+  if (crashed_) return;
+  timers_[peer.value] = sim::kNoEvent;
+  if (!suspected_[peer.value]) {
+    suspected_[peer.value] = true;
+    if (observer_ != nullptr) observer_->on_suspected(peer, 0);
+  }
+}
+
+std::vector<ProcessId> AdaptiveDetector::suspected() const {
+  std::vector<ProcessId> out;
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (suspected_[i]) out.push_back(ProcessId{i});
+  }
+  return out;
+}
+
+bool AdaptiveDetector::is_suspected(ProcessId pid) const {
+  return pid.value < suspected_.size() && suspected_[pid.value];
+}
+
+}  // namespace mmrfd::baselines

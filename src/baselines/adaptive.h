@@ -1,0 +1,83 @@
+// Timer-based baseline #4: adaptive timeout (Chen, Toueg & Aguilera
+// lineage): the next heartbeat's arrival is *predicted* from a window of
+// past arrivals and the timeout fires at prediction + safety margin alpha.
+//
+// Adapts to drifting mean delay (unlike the fixed-Theta heartbeat) but, like
+// all timer-based detectors, still requires picking alpha — the E5/E7
+// experiments show the alpha trade-off mirrors the Theta trade-off.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baselines/heartbeat.h"
+#include "common/types.h"
+#include "core/failure_detector.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::baselines {
+
+struct AdaptiveConfig {
+  ProcessId self{0};
+  std::uint32_t n{0};
+  Duration period{from_millis(1000)};        ///< heartbeat emission period
+  Duration safety_margin{from_millis(500)};  ///< alpha
+  std::size_t window{16};                    ///< arrivals used for prediction
+  Duration initial_delay{Duration::zero()};
+};
+
+/// Per-peer arrival predictor (exposed for unit tests): predicts the next
+/// arrival as last_arrival + mean(previous inter-arrival intervals), seeded
+/// with `period` while the window is empty.
+class ArrivalPredictor {
+ public:
+  ArrivalPredictor(std::size_t window, Duration period);
+
+  void observe(TimePoint now);
+  [[nodiscard]] std::optional<TimePoint> predicted_next() const;
+  [[nodiscard]] std::size_t samples() const { return intervals_.size(); }
+
+ private:
+  std::size_t capacity_;
+  double period_s_;
+  std::vector<double> intervals_;  // seconds, ring buffer
+  std::size_t next_slot_{0};
+  std::optional<TimePoint> last_arrival_;
+};
+
+class AdaptiveDetector final : public core::FailureDetector {
+ public:
+  AdaptiveDetector(sim::Simulation& simulation, HeartbeatNetwork& network,
+                   const AdaptiveConfig& config,
+                   core::SuspicionObserver* observer = nullptr);
+
+  void start();
+  void crash();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] ProcessId id() const { return config_.self; }
+
+  [[nodiscard]] std::vector<ProcessId> suspected() const override;
+  [[nodiscard]] bool is_suspected(ProcessId id) const override;
+
+ private:
+  void tick();
+  void handle(ProcessId from, const HeartbeatMessage& msg);
+  void arm_timer(ProcessId peer);
+  void expire(ProcessId peer);
+
+  sim::Simulation& sim_;
+  HeartbeatNetwork& net_;
+  AdaptiveConfig config_;
+  core::SuspicionObserver* observer_;
+  bool crashed_{false};
+  bool started_{false};
+  std::uint64_t seq_{0};
+  std::vector<std::uint64_t> last_seq_;
+  std::vector<ArrivalPredictor> predictors_;
+  std::vector<sim::EventId> timers_;
+  std::vector<bool> suspected_;
+};
+
+}  // namespace mmrfd::baselines

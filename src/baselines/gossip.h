@@ -1,0 +1,78 @@
+// Timer-based baseline #3: gossip-style heartbeat counters
+// (van Renesse et al. / Friedman & Tcharny lineage).
+//
+// Every process keeps a vector of the highest heartbeat counter it has seen
+// per process. Every Delta it increments its own entry and sends the whole
+// vector to its neighbors (full mesh here; the scheme's point is that it
+// also works multi-hop). On receipt the vectors are merged entry-wise by
+// max; a per-peer timeout Theta is re-armed whenever that peer's counter
+// grows. Detection is thus timer-based like plain heartbeat, but information
+// travels transitively — the closest OSS analogue of "suspicion flooding".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "core/failure_detector.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::baselines {
+
+struct GossipMessage {
+  std::vector<std::uint64_t> counters;
+  friend bool operator==(const GossipMessage&, const GossipMessage&) = default;
+};
+
+using GossipNetwork = net::Network<GossipMessage>;
+
+struct GossipConfig {
+  ProcessId self{0};
+  std::uint32_t n{0};
+  Duration period{from_millis(1000)};   ///< Delta
+  Duration timeout{from_millis(2000)};  ///< Theta
+  /// Gossip fan-out: vector is sent to this many distinct random neighbors
+  /// each tick (0 = all neighbors).
+  std::uint32_t fanout{0};
+  std::uint64_t seed{0};
+  Duration initial_delay{Duration::zero()};
+};
+
+class GossipDetector final : public core::FailureDetector {
+ public:
+  GossipDetector(sim::Simulation& simulation, GossipNetwork& network,
+                 const GossipConfig& config,
+                 core::SuspicionObserver* observer = nullptr);
+
+  void start();
+  void crash();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] ProcessId id() const { return config_.self; }
+
+  [[nodiscard]] std::vector<ProcessId> suspected() const override;
+  [[nodiscard]] bool is_suspected(ProcessId id) const override;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+ private:
+  void tick();
+  void handle(ProcessId from, const GossipMessage& msg);
+  void arm_timer(ProcessId peer);
+  void expire(ProcessId peer);
+
+  sim::Simulation& sim_;
+  GossipNetwork& net_;
+  GossipConfig config_;
+  core::SuspicionObserver* observer_;
+  Xoshiro256 rng_;
+  bool crashed_{false};
+  bool started_{false};
+  std::vector<std::uint64_t> counters_;
+  std::vector<sim::EventId> timers_;
+  std::vector<bool> suspected_;
+};
+
+}  // namespace mmrfd::baselines

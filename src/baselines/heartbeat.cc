@@ -1,0 +1,88 @@
+#include "baselines/heartbeat.h"
+
+#include <cassert>
+
+namespace mmrfd::baselines {
+
+HeartbeatDetector::HeartbeatDetector(sim::Simulation& simulation,
+                                     HeartbeatNetwork& network,
+                                     const HeartbeatConfig& config,
+                                     core::SuspicionObserver* observer)
+    : sim_(simulation),
+      net_(network),
+      config_(config),
+      observer_(observer),
+      last_seq_(config.n, 0),
+      timers_(config.n, sim::kNoEvent),
+      suspected_(config.n, false) {
+  assert(config_.n > 1);
+  net_.set_handler(id(), [this](ProcessId from, const HeartbeatMessage& m) {
+    handle(from, m);
+  });
+}
+
+void HeartbeatDetector::start() {
+  assert(!started_);
+  started_ = true;
+  sim_.schedule(config_.initial_delay, [this] {
+    // Timers for every peer start with the first local tick: a peer that
+    // never speaks at all will time out too.
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+      const ProcessId peer{i};
+      if (peer != id()) arm_timer(peer);
+    }
+    tick();
+  });
+}
+
+void HeartbeatDetector::crash() {
+  crashed_ = true;
+  net_.crash(id());
+}
+
+void HeartbeatDetector::tick() {
+  if (crashed_) return;
+  ++seq_;
+  net_.broadcast(id(), HeartbeatMessage{seq_});
+  sim_.schedule(config_.period, [this] { tick(); });
+}
+
+void HeartbeatDetector::handle(ProcessId from, const HeartbeatMessage& msg) {
+  if (crashed_) return;
+  if (msg.seq <= last_seq_[from.value]) return;  // stale
+  last_seq_[from.value] = msg.seq;
+  if (suspected_[from.value]) {
+    suspected_[from.value] = false;
+    if (observer_ != nullptr) observer_->on_cleared(from, 0);
+  }
+  arm_timer(from);
+}
+
+void HeartbeatDetector::arm_timer(ProcessId peer) {
+  sim_.cancel(timers_[peer.value]);
+  timers_[peer.value] =
+      sim_.schedule(config_.timeout, [this, peer] { expire(peer); });
+}
+
+void HeartbeatDetector::expire(ProcessId peer) {
+  if (crashed_) return;
+  timers_[peer.value] = sim::kNoEvent;
+  if (!suspected_[peer.value]) {
+    suspected_[peer.value] = true;
+    if (observer_ != nullptr) observer_->on_suspected(peer, 0);
+  }
+}
+
+std::vector<ProcessId> HeartbeatDetector::suspected() const {
+  std::vector<ProcessId> out;
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (suspected_[i]) out.push_back(ProcessId{i});
+  }
+  return out;
+}
+
+bool HeartbeatDetector::is_suspected(ProcessId pid) const {
+  return pid.value < suspected_.size() && suspected_[pid.value];
+}
+
+}  // namespace mmrfd::baselines

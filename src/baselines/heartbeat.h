@@ -1,0 +1,74 @@
+// Timer-based baseline #1: all-to-all heartbeat with a fixed timeout.
+//
+// The classical practical failure detector the paper argues against: every
+// Delta, each process broadcasts a heartbeat; each process arms a timeout of
+// Theta per peer and suspects the peer when it expires; receipt of a fresh
+// heartbeat clears the suspicion and re-arms the timer.
+//
+// Strengths: detection time bounded by ~Theta regardless of n. Weaknesses:
+// Theta must be *guessed* — too small and slow-but-correct processes are
+// suspected forever (accuracy broken under delay spikes / heavy tails), too
+// large and detection is slow. Experiments E1/E3/E5 quantify this trade-off
+// against the time-free detector, which has no such knob.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "common/types.h"
+#include "core/failure_detector.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::baselines {
+
+struct HeartbeatMessage {
+  std::uint64_t seq{0};
+  friend bool operator==(const HeartbeatMessage&,
+                         const HeartbeatMessage&) = default;
+};
+
+using HeartbeatNetwork = net::Network<HeartbeatMessage>;
+
+struct HeartbeatConfig {
+  ProcessId self{0};
+  std::uint32_t n{0};
+  Duration period{from_millis(1000)};   ///< Delta
+  Duration timeout{from_millis(2000)};  ///< Theta
+  Duration initial_delay{Duration::zero()};
+};
+
+class HeartbeatDetector final : public core::FailureDetector {
+ public:
+  HeartbeatDetector(sim::Simulation& simulation, HeartbeatNetwork& network,
+                    const HeartbeatConfig& config,
+                    core::SuspicionObserver* observer = nullptr);
+
+  void start();
+  void crash();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] ProcessId id() const { return config_.self; }
+
+  [[nodiscard]] std::vector<ProcessId> suspected() const override;
+  [[nodiscard]] bool is_suspected(ProcessId id) const override;
+
+ private:
+  void tick();
+  void handle(ProcessId from, const HeartbeatMessage& msg);
+  void arm_timer(ProcessId peer);
+  void expire(ProcessId peer);
+
+  sim::Simulation& sim_;
+  HeartbeatNetwork& net_;
+  HeartbeatConfig config_;
+  core::SuspicionObserver* observer_;
+  bool crashed_{false};
+  bool started_{false};
+  std::uint64_t seq_{0};
+  std::vector<std::uint64_t> last_seq_;   // highest heartbeat seen per peer
+  std::vector<sim::EventId> timers_;      // pending expiry per peer
+  std::vector<bool> suspected_;
+};
+
+}  // namespace mmrfd::baselines

@@ -1,0 +1,134 @@
+#include "baselines/phi_accrual.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mmrfd::baselines {
+
+PhiWindow::PhiWindow(std::size_t capacity, Duration min_stddev)
+    : capacity_(capacity), min_stddev_s_(to_seconds(min_stddev)) {
+  assert(capacity_ >= 2);
+}
+
+void PhiWindow::bootstrap(TimePoint now, Duration expected_interval) {
+  const double mean = to_seconds(expected_interval);
+  intervals_.push_back(mean * 0.75);
+  intervals_.push_back(mean * 1.25);
+  last_arrival_ = now;
+}
+
+void PhiWindow::observe_arrival(TimePoint now) {
+  if (last_arrival_) {
+    const double interval = to_seconds(now - *last_arrival_);
+    if (intervals_.size() < capacity_) {
+      intervals_.push_back(interval);
+    } else {
+      intervals_[next_slot_] = interval;
+      next_slot_ = (next_slot_ + 1) % capacity_;
+    }
+  }
+  last_arrival_ = now;
+}
+
+double PhiWindow::phi(TimePoint now) const {
+  if (!last_arrival_ || intervals_.size() < 2) return 0.0;
+  double mean = 0.0;
+  for (double x : intervals_) mean += x;
+  mean /= static_cast<double>(intervals_.size());
+  double var = 0.0;
+  for (double x : intervals_) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(intervals_.size() - 1);
+  const double sd = std::max(std::sqrt(var), min_stddev_s_);
+
+  const double t = to_seconds(now - *last_arrival_);
+  // P(arrival later than t) under N(mean, sd): 1 - CDF(t).
+  const double z = (t - mean) / sd;
+  const double p_later = 0.5 * std::erfc(z / std::sqrt(2.0));
+  if (p_later <= 0.0) return 1e9;  // numerically certain death
+  return -std::log10(p_later);
+}
+
+PhiAccrualDetector::PhiAccrualDetector(sim::Simulation& simulation,
+                                       HeartbeatNetwork& network,
+                                       const PhiAccrualConfig& config,
+                                       core::SuspicionObserver* observer)
+    : sim_(simulation),
+      net_(network),
+      config_(config),
+      observer_(observer),
+      last_seq_(config.n, 0),
+      windows_(config.n, PhiWindow(config.window, config.min_stddev)),
+      suspected_(config.n, false) {
+  assert(config_.n > 1);
+  net_.set_handler(id(), [this](ProcessId from, const HeartbeatMessage& m) {
+    handle(from, m);
+  });
+}
+
+void PhiAccrualDetector::start() {
+  assert(!started_);
+  started_ = true;
+  sim_.schedule(config_.initial_delay, [this] {
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+      if (i != id().value) {
+        windows_[i].bootstrap(sim_.now(), config_.period);
+      }
+    }
+    tick();
+    poll();
+  });
+}
+
+void PhiAccrualDetector::crash() {
+  crashed_ = true;
+  net_.crash(id());
+}
+
+void PhiAccrualDetector::tick() {
+  if (crashed_) return;
+  ++seq_;
+  net_.broadcast(id(), HeartbeatMessage{seq_});
+  sim_.schedule(config_.period, [this] { tick(); });
+}
+
+void PhiAccrualDetector::poll() {
+  if (crashed_) return;
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    const ProcessId peer{i};
+    if (peer == id()) continue;
+    const bool suspect = phi(peer) >= config_.threshold;
+    if (suspect && !suspected_[i]) {
+      suspected_[i] = true;
+      if (observer_ != nullptr) observer_->on_suspected(peer, 0);
+    } else if (!suspect && suspected_[i]) {
+      suspected_[i] = false;
+      if (observer_ != nullptr) observer_->on_cleared(peer, 0);
+    }
+  }
+  sim_.schedule(config_.poll, [this] { poll(); });
+}
+
+void PhiAccrualDetector::handle(ProcessId from, const HeartbeatMessage& msg) {
+  if (crashed_) return;
+  if (msg.seq <= last_seq_[from.value]) return;
+  last_seq_[from.value] = msg.seq;
+  windows_[from.value].observe_arrival(sim_.now());
+}
+
+double PhiAccrualDetector::phi(ProcessId peer) const {
+  return windows_[peer.value].phi(sim_.now());
+}
+
+std::vector<ProcessId> PhiAccrualDetector::suspected() const {
+  std::vector<ProcessId> out;
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (suspected_[i]) out.push_back(ProcessId{i});
+  }
+  return out;
+}
+
+bool PhiAccrualDetector::is_suspected(ProcessId pid) const {
+  return pid.value < suspected_.size() && suspected_[pid.value];
+}
+
+}  // namespace mmrfd::baselines

@@ -1,0 +1,99 @@
+// Timer-based baseline #2: the phi-accrual failure detector
+// (Hayashibara et al., SRDS 2004) — the detector modern OSS systems
+// (Cassandra, Akka) actually ship.
+//
+// Instead of a boolean timeout it outputs a suspicion *level*
+//   phi(t) = -log10( P(next heartbeat arrives later than t) )
+// from a sliding-window estimate (normal approximation) of heartbeat
+// inter-arrival times, and suspects when phi crosses a threshold. Adaptive,
+// but still fundamentally timer-based: it presumes a (locally stationary)
+// arrival distribution — exactly the assumption the time-free detector
+// drops. Heavy-tailed delays (E5) and spikes (E3) expose the difference.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "baselines/heartbeat.h"
+#include "common/types.h"
+#include "core/failure_detector.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::baselines {
+
+struct PhiAccrualConfig {
+  ProcessId self{0};
+  std::uint32_t n{0};
+  Duration period{from_millis(1000)};  ///< heartbeat emission period
+  double threshold{8.0};               ///< suspect when phi >= threshold
+  std::size_t window{100};             ///< inter-arrival samples kept
+  /// Evaluation granularity: phi is re-evaluated this often per peer.
+  Duration poll{from_millis(100)};
+  /// Floor for the estimated stddev, guarding against a degenerate window.
+  Duration min_stddev{from_millis(50)};
+  Duration initial_delay{Duration::zero()};
+};
+
+/// Sliding-window phi estimator for one peer (exposed for unit tests).
+class PhiWindow {
+ public:
+  explicit PhiWindow(std::size_t capacity, Duration min_stddev);
+
+  /// Cold-start seeding (the Akka "first heartbeat estimate"): pretend the
+  /// peer just spoke with a plausible cadence, so a peer that *never* speaks
+  /// still accrues suspicion instead of sitting at phi = 0 forever.
+  void bootstrap(TimePoint now, Duration expected_interval);
+
+  void observe_arrival(TimePoint now);
+  /// phi at time `now`; 0 while fewer than 2 arrivals are recorded.
+  [[nodiscard]] double phi(TimePoint now) const;
+  [[nodiscard]] std::size_t samples() const { return intervals_.size(); }
+  [[nodiscard]] std::optional<TimePoint> last_arrival() const {
+    return last_arrival_;
+  }
+
+ private:
+  std::size_t capacity_;
+  double min_stddev_s_;
+  std::vector<double> intervals_;  // seconds, ring buffer
+  std::size_t next_slot_{0};
+  std::optional<TimePoint> last_arrival_;
+};
+
+class PhiAccrualDetector final : public core::FailureDetector {
+ public:
+  PhiAccrualDetector(sim::Simulation& simulation, HeartbeatNetwork& network,
+                     const PhiAccrualConfig& config,
+                     core::SuspicionObserver* observer = nullptr);
+
+  void start();
+  void crash();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] ProcessId id() const { return config_.self; }
+
+  /// Current phi for a peer (diagnostics / tests).
+  [[nodiscard]] double phi(ProcessId peer) const;
+
+  [[nodiscard]] std::vector<ProcessId> suspected() const override;
+  [[nodiscard]] bool is_suspected(ProcessId id) const override;
+
+ private:
+  void tick();
+  void poll();
+  void handle(ProcessId from, const HeartbeatMessage& msg);
+
+  sim::Simulation& sim_;
+  HeartbeatNetwork& net_;
+  PhiAccrualConfig config_;
+  core::SuspicionObserver* observer_;
+  bool crashed_{false};
+  bool started_{false};
+  std::uint64_t seq_{0};
+  std::vector<std::uint64_t> last_seq_;
+  std::vector<PhiWindow> windows_;
+  std::vector<bool> suspected_;
+};
+
+}  // namespace mmrfd::baselines

@@ -1,0 +1,45 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+
+namespace mmrfd {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+constexpr const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace internal {
+void log_emit(LogLevel level, std::string_view module, std::string_view msg) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", level_name(level),
+               static_cast<int>(module.size()), module.data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+}  // namespace internal
+
+}  // namespace mmrfd

@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded, but the transport runtime logs from
+// worker threads, so emission is guarded by a mutex. Logging defaults to
+// kWarn so tests and benches stay quiet; examples raise it to kInfo.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace mmrfd {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace internal {
+void log_emit(LogLevel level, std::string_view module, std::string_view msg);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view module)
+      : level_(level), module_(module) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, module_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string_view module_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace mmrfd
+
+#define MMRFD_LOG(level, module)                      \
+  if (::mmrfd::log_level() <= (level))                \
+  ::mmrfd::internal::LogLine((level), (module))
+
+#define MMRFD_LOG_TRACE(module) MMRFD_LOG(::mmrfd::LogLevel::kTrace, module)
+#define MMRFD_LOG_DEBUG(module) MMRFD_LOG(::mmrfd::LogLevel::kDebug, module)
+#define MMRFD_LOG_INFO(module) MMRFD_LOG(::mmrfd::LogLevel::kInfo, module)
+#define MMRFD_LOG_WARN(module) MMRFD_LOG(::mmrfd::LogLevel::kWarn, module)
+#define MMRFD_LOG_ERROR(module) MMRFD_LOG(::mmrfd::LogLevel::kError, module)

@@ -1,0 +1,112 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mmrfd {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a over a string, used to turn stream labels into seed material.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::next_double() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    const std::uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+double Xoshiro256::exponential(double mean) {
+  assert(mean > 0);
+  // Inverse CDF; 1 - u in (0, 1] avoids log(0).
+  return -mean * std::log(1.0 - next_double());
+}
+
+double Xoshiro256::lognormal(double median, double sigma) {
+  assert(median > 0);
+  return median * std::exp(sigma * normal(0.0, 1.0));
+}
+
+double Xoshiro256::bounded_pareto(double x_min, double alpha, double cap) {
+  assert(x_min > 0 && alpha > 0 && cap > x_min);
+  const double u = next_double();
+  const double v = x_min / std::pow(1.0 - u, 1.0 / alpha);
+  return v > cap ? cap : v;
+}
+
+double Xoshiro256::normal(double mean, double stddev) {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u;
+  double v;
+  double s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return mean + stddev * u * factor;
+}
+
+bool Xoshiro256::bernoulli(double p) { return next_double() < p; }
+
+std::uint64_t derive_seed(std::uint64_t master, std::string_view stream_label,
+                          std::uint64_t index) {
+  SplitMix64 sm(master ^ fnv1a(stream_label) ^ (index * 0x9e3779b97f4a7c15ULL));
+  sm.next();
+  return sm.next();
+}
+
+}  // namespace mmrfd

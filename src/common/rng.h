@@ -1,0 +1,84 @@
+// Deterministic random number generation.
+//
+// Experiments must be reproducible bit-for-bit from a single 64-bit seed, so
+// we implement our own generators instead of relying on implementation-defined
+// std::default_random_engine behaviour:
+//   * SplitMix64 — seed expansion / stream derivation,
+//   * xoshiro256** — the workhorse generator (one independent stream per
+//     simulator component, derived from the master seed + a stream label).
+// Distribution sampling (uniform, exponential, log-normal, bounded Pareto) is
+// also hand-rolled: libstdc++'s std::*_distribution are not stable across
+// versions.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mmrfd {
+
+/// SplitMix64: tiny, fast, passes BigCrush; ideal for deriving seeds.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: public-domain generator by Blackman & Vigna.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words through SplitMix64 (recommended practice).
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double next_double();
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Log-normal parameterised by the *target* median and sigma of log-space.
+  double lognormal(double median, double sigma);
+
+  /// Pareto with shape alpha and scale x_min, truncated at cap.
+  double bounded_pareto(double x_min, double alpha, double cap);
+
+  /// Standard normal via Marsaglia polar method.
+  double normal(double mean, double stddev);
+
+  /// True with probability p.
+  bool bernoulli(double p);
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_{false};
+  double spare_normal_{0.0};
+};
+
+/// Derives a child seed for a named stream, so that e.g. the link-delay
+/// stream and the crash-schedule stream of one experiment never overlap.
+std::uint64_t derive_seed(std::uint64_t master, std::string_view stream_label,
+                          std::uint64_t index = 0);
+
+}  // namespace mmrfd

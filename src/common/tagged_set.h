@@ -1,0 +1,67 @@
+// TaggedSet: the `suspected` / `mistake` sets of the DSN'03 protocol.
+//
+// Each entry is a pair <id, tag> — "process `id` is suspected (resp. was
+// falsely suspected), and that piece of information was generated when the
+// originator's round counter had value `tag`". At most one entry per id;
+// Add() implements the paper's replacement semantics: inserting <id, tag>
+// overwrites any existing <id, ->.
+//
+// Entries are kept sorted by id in a flat vector: sets are small (<= n), the
+// protocol iterates them on every query, and flat storage keeps merge loops
+// cache-friendly and the serialized wire form canonical.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mmrfd {
+
+/// One <id, tag> element of a suspicion or mistake set.
+struct TaggedEntry {
+  ProcessId id;
+  Tag tag{0};
+
+  friend constexpr bool operator==(const TaggedEntry&,
+                                   const TaggedEntry&) = default;
+};
+
+class TaggedSet {
+ public:
+  TaggedSet() = default;
+
+  /// Inserts <id, tag>, replacing any existing entry for `id`
+  /// (the paper's Add(set, <id, counter>)).
+  void add(ProcessId id, Tag tag);
+
+  /// Removes the entry for `id` if present; returns true if removed.
+  bool erase(ProcessId id);
+
+  /// Tag of `id`'s entry, or nullopt if absent.
+  [[nodiscard]] std::optional<Tag> tag_of(ProcessId id) const;
+
+  [[nodiscard]] bool contains(ProcessId id) const {
+    return tag_of(id).has_value();
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// Sorted-by-id view of the entries.
+  [[nodiscard]] std::span<const TaggedEntry> entries() const {
+    return entries_;
+  }
+
+  [[nodiscard]] std::vector<ProcessId> ids() const;
+
+  friend bool operator==(const TaggedSet&, const TaggedSet&) = default;
+
+ private:
+  std::vector<TaggedEntry> entries_;  // sorted by id, unique ids
+};
+
+}  // namespace mmrfd

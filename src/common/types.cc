@@ -1,0 +1,12 @@
+#include "common/types.h"
+
+#include <ostream>
+
+namespace mmrfd {
+
+std::ostream& operator<<(std::ostream& os, ProcessId id) {
+  if (id == kNoProcess) return os << "p?";
+  return os << 'p' << id.value;
+}
+
+}  // namespace mmrfd

@@ -1,0 +1,63 @@
+// Fundamental vocabulary types shared by every mmrfd module.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <limits>
+#include <string>
+
+namespace mmrfd {
+
+/// Identifier of a process (node) in the system.
+///
+/// The DSN'03 model is a *known* static membership Pi = {p_0, ..., p_{n-1}};
+/// we use dense 32-bit indices so per-process state can live in flat arrays.
+struct ProcessId {
+  std::uint32_t value{0};
+
+  constexpr ProcessId() = default;
+  constexpr explicit ProcessId(std::uint32_t v) : value(v) {}
+
+  friend constexpr auto operator<=>(ProcessId, ProcessId) = default;
+};
+
+/// An invalid sentinel (never a member of Pi).
+inline constexpr ProcessId kNoProcess{std::numeric_limits<std::uint32_t>::max()};
+
+std::ostream& operator<<(std::ostream& os, ProcessId id);
+
+/// Virtual (simulated) or real time is always expressed in nanoseconds.
+using Duration = std::chrono::nanoseconds;
+using TimePoint = std::chrono::nanoseconds;  // offset from the run's origin
+
+inline constexpr TimePoint kTimeZero{0};
+inline constexpr TimePoint kTimeMax{std::numeric_limits<std::int64_t>::max()};
+
+constexpr double to_seconds(Duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+constexpr Duration from_seconds(double s) {
+  return std::chrono::duration_cast<Duration>(std::chrono::duration<double>(s));
+}
+
+constexpr Duration from_millis(double ms) { return from_seconds(ms / 1e3); }
+
+/// Monotonically increasing tag ("counter" in the paper) used to order
+/// suspicion/mistake information: a larger tag is more recent.
+using Tag = std::uint64_t;
+
+/// Sequence number of a query round at one process.
+using QuerySeq = std::uint64_t;
+
+}  // namespace mmrfd
+
+template <>
+struct std::hash<mmrfd::ProcessId> {
+  std::size_t operator()(mmrfd::ProcessId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

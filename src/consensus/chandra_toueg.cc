@@ -1,0 +1,159 @@
+#include "consensus/chandra_toueg.h"
+
+#include <cassert>
+
+namespace mmrfd::consensus {
+
+void NetworkConsensusTransport::attach(ConsensusProcess& process) {
+  net_.set_handler(self_,
+                   [&process](ProcessId from, const ConsensusMessage& m) {
+                     process.deliver(from, m);
+                   });
+}
+
+ConsensusProcess::ConsensusProcess(sim::Simulation& simulation,
+                                   ConsensusTransport& transport,
+                                   const ConsensusConfig& config,
+                                   const core::FailureDetector& fd)
+    : sim_(simulation), transport_(transport), config_(config), fd_(fd) {
+  assert(config_.n > 1);
+}
+
+void ConsensusProcess::propose(Value v) {
+  assert(!started_);
+  started_ = true;
+  estimate_ = v;
+  estimate_ts_ = 0;
+  enter_round(1);
+  poll();
+}
+
+void ConsensusProcess::crash() { crashed_ = true; }
+
+void ConsensusProcess::send(ProcessId to, ConsensusMessage msg) {
+  if (to == id()) {
+    // Local delivery: the coordinator is also a participant; its own
+    // messages must not traverse the network (and must not be lost).
+    deliver(id(), msg);
+  } else {
+    transport_.send(to, std::move(msg));
+  }
+}
+
+void ConsensusProcess::broadcast_all(const ConsensusMessage& msg) {
+  transport_.broadcast(msg);
+  deliver(id(), msg);
+}
+
+void ConsensusProcess::enter_round(Round r) {
+  // Phase/round must be updated *before* the send: when this process is the
+  // round's coordinator the estimate is delivered to itself synchronously
+  // and re-enters evaluate().
+  round_ = r;
+  phase_ = Phase::kWaitProposal;
+  // Phase 1: send the current estimate to the round's coordinator.
+  send(coordinator(r), EstimateMessage{r, estimate_, estimate_ts_});
+  evaluate();
+}
+
+ConsensusProcess::~ConsensusProcess() { sim_.cancel(poll_event_); }
+
+void ConsensusProcess::poll() {
+  if (crashed_ || phase_ == Phase::kDone) return;
+  evaluate();
+  poll_event_ = sim_.schedule(config_.fd_poll, [this] { poll(); });
+}
+
+void ConsensusProcess::evaluate() {
+  // Pre-propose (round_ == 0): messages are only buffered; there is no
+  // current round to make progress on.
+  if (!started_ || crashed_ || phase_ == Phase::kDone) return;
+
+  // Coordinator's phase 2: a majority of estimates for the current round
+  // lets it propose. (Checked regardless of phase_: the coordinator is
+  // concurrently a participant in kWaitProposal.)
+  if (coordinator(round_) == id()) {
+    if (auto it = estimates_.find(round_);
+        it != estimates_.end() && it->second.size() >= majority() &&
+        proposals_.find(round_) == proposals_.end()) {
+      const EstimateMessage* best = nullptr;
+      for (const auto& e : it->second) {
+        if (best == nullptr || e.ts > best->ts) best = &e;
+      }
+      broadcast_all(ProposalMessage{round_, best->value});
+    }
+  }
+
+  if (phase_ == Phase::kWaitProposal) {
+    // Phase 3: proposal, or suspicion of the coordinator. The phase is
+    // advanced *before* any send: sends to self are delivered synchronously
+    // and re-enter evaluate(), which must not re-run this block.
+    if (auto it = proposals_.find(round_); it != proposals_.end()) {
+      estimate_ = it->second.value;
+      estimate_ts_ = round_;
+      const Round r = round_;
+      if (coordinator(r) == id()) {
+        phase_ = Phase::kWaitAcks;
+        send(id(), AckMessage{r, true});
+      } else {
+        send(coordinator(r), AckMessage{r, true});
+        enter_round(r + 1);
+      }
+    } else if (coordinator(round_) != id() &&
+               fd_.is_suspected(coordinator(round_))) {
+      const Round r = round_;
+      send(coordinator(r), AckMessage{r, false});
+      enter_round(r + 1);
+    }
+    return;
+  }
+
+  if (phase_ == Phase::kWaitAcks) {
+    // Phase 4 (coordinator of the *previous* logical step — round_ still
+    // names the round whose acks are awaited).
+    auto [ack, nack] = acks_[round_];
+    if (ack >= majority()) {
+      // The coordinator executed phase 3 itself before entering kWaitAcks,
+      // so estimate_ holds the round's proposal.
+      broadcast_all(DecideMessage{estimate_});
+      return;
+    }
+    if (nack > 0 && ack + nack >= majority()) {
+      enter_round(round_ + 1);
+    }
+  }
+}
+
+void ConsensusProcess::deliver(ProcessId from, const ConsensusMessage& msg) {
+  (void)from;
+  if (crashed_ || phase_ == Phase::kDone) return;
+
+  if (const auto* e = std::get_if<EstimateMessage>(&msg)) {
+    estimates_[e->round].push_back(*e);
+  } else if (const auto* p = std::get_if<ProposalMessage>(&msg)) {
+    proposals_.emplace(p->round, *p);
+  } else if (const auto* a = std::get_if<AckMessage>(&msg)) {
+    auto& [ack, nack] = acks_[a->round];
+    if (a->ack) {
+      ++ack;
+    } else {
+      ++nack;
+    }
+  } else if (const auto* d = std::get_if<DecideMessage>(&msg)) {
+    decide(d->value);
+    return;
+  }
+  evaluate();
+}
+
+void ConsensusProcess::decide(Value v) {
+  if (decision_) return;
+  decision_ = v;
+  decided_at_ = sim_.now();
+  phase_ = Phase::kDone;
+  // Reliable-broadcast echo: forward the decision once so every correct
+  // process decides even if the original sender crashed mid-broadcast.
+  transport_.broadcast(DecideMessage{v});
+}
+
+}  // namespace mmrfd::consensus

@@ -1,0 +1,90 @@
+#include "consensus/replicated_log.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mmrfd::consensus {
+
+ReplicatedLog::ReplicatedLog(sim::Simulation& simulation, LogNetwork& network,
+                             const ReplicatedLogConfig& config,
+                             const core::FailureDetector& fd)
+    : sim_(simulation), net_(network), config_(config), fd_(fd) {
+  assert(config_.n > 1);
+  net_.set_handler(id(), [this](ProcessId from, const LogMessage& msg) {
+    handle(from, msg);
+  });
+}
+
+void ReplicatedLog::start() {
+  assert(!started_);
+  started_ = true;
+  propose_current();
+  poll();
+}
+
+void ReplicatedLog::submit(Value command) {
+  assert(command != kNoop);
+  if (crashed_) return;
+  pending_.push_back(command);
+  // If the current instance is already running it keeps its (possibly no-op)
+  // proposal — the command rides the next instance. Re-proposing mid-
+  // instance would violate consensus validity bookkeeping.
+}
+
+void ReplicatedLog::crash() {
+  crashed_ = true;
+  net_.crash(id());
+  for (auto& [slot, inst] : instances_) inst.process->crash();
+}
+
+ReplicatedLog::Instance& ReplicatedLog::ensure_instance(Slot slot) {
+  auto it = instances_.find(slot);
+  if (it != instances_.end()) return it->second;
+  Instance inst;
+  inst.transport = std::make_unique<SlotTransport>(*this, slot);
+  ConsensusConfig cc;
+  cc.self = config_.self;
+  cc.n = config_.n;
+  cc.fd_poll = config_.poll;
+  // Fair leadership: slot k starts with coordinator (k - 1) mod n.
+  cc.coordinator_offset = static_cast<std::uint32_t>((slot - 1) % config_.n);
+  inst.process = std::make_unique<ConsensusProcess>(sim_, *inst.transport, cc,
+                                                    fd_);
+  return instances_.emplace(slot, std::move(inst)).first->second;
+}
+
+void ReplicatedLog::propose_current() {
+  auto& inst = ensure_instance(next_slot_);
+  const Value proposal = pending_.empty() ? kNoop : pending_.front();
+  inst.process->propose(proposal);
+}
+
+void ReplicatedLog::handle(ProcessId from, const LogMessage& msg) {
+  if (crashed_) return;
+  // Deliveries for already-decided slots are stale (we have the value);
+  // deliveries for future slots are buffered inside their instance.
+  if (msg.slot < next_slot_) return;
+  ensure_instance(msg.slot).process->deliver(from, msg.inner);
+}
+
+void ReplicatedLog::poll() {
+  if (crashed_) return;
+  // Advance through every decided instance (a decision may cascade: the
+  // next instance may already have buffered a DECIDE).
+  while (true) {
+    auto it = instances_.find(next_slot_);
+    if (it == instances_.end() || !it->second.process->decided()) break;
+    const Value decided = it->second.process->decision();
+    log_.push_back(decided);
+    if (decided != kNoop) {
+      const auto pos = std::find(pending_.begin(), pending_.end(), decided);
+      if (pos != pending_.end()) pending_.erase(pos);
+    }
+    instances_.erase(it);  // the slot is sealed; drop the machinery
+    ++next_slot_;
+    if (started_ && !crashed_) propose_current();
+  }
+  sim_.schedule(config_.poll, [this] { poll(); });
+}
+
+}  // namespace mmrfd::consensus

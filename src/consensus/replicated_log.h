@@ -1,0 +1,129 @@
+// ReplicatedLog — repeated consensus / total-order broadcast on top of the
+// Chandra-Toueg protocol: the application shape (state-machine replication)
+// that failure detectors ultimately exist to enable.
+//
+// Consensus instances are numbered 1, 2, ...; instance k chooses log slot k.
+// Each process proposes its oldest unchosen client command (or a no-op when
+// it has none) and starts instance k + 1 once k decides. Messages carry the
+// instance number (LogMessage wraps ConsensusMessage); instances created on
+// demand buffer early-arriving messages until the local log catches up.
+//
+// Guarantees (tested in tests/consensus/replicated_log_test.cc):
+//   * total order — correct processes' logs are prefixes of one another and
+//     eventually equal;
+//   * integrity — every decided slot holds a no-op or a submitted command,
+//     and no command appears twice;
+//   * liveness — with a <>S-quality detector and a correct majority, every
+//     command submitted by a correct process is eventually decided.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "consensus/chandra_toueg.h"
+#include "core/failure_detector.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::consensus {
+
+/// Slot number in the replicated log (== consensus instance number).
+using Slot = std::uint64_t;
+
+/// The no-op filler proposed when a process has no pending command.
+inline constexpr Value kNoop = 0;
+
+/// Builds a globally unique command id (client commands must be nonzero and
+/// unique; encode the submitter in the high bits).
+[[nodiscard]] constexpr Value make_command(ProcessId submitter,
+                                           std::uint32_t local_seq) {
+  return (static_cast<Value>(submitter.value) << 32) | (local_seq + 1);
+}
+
+struct LogMessage {
+  Slot slot{0};
+  ConsensusMessage inner;
+};
+
+using LogNetwork = net::Network<LogMessage>;
+
+struct ReplicatedLogConfig {
+  ProcessId self{0};
+  std::uint32_t n{0};
+  /// Decision/FD polling cadence.
+  Duration poll{from_millis(10)};
+};
+
+class ReplicatedLog {
+ public:
+  ReplicatedLog(sim::Simulation& simulation, LogNetwork& network,
+                const ReplicatedLogConfig& config,
+                const core::FailureDetector& fd);
+
+  ReplicatedLog(const ReplicatedLog&) = delete;
+  ReplicatedLog& operator=(const ReplicatedLog&) = delete;
+
+  /// Starts instance 1. Call once.
+  void start();
+
+  /// Enqueues a client command (must be nonzero; use make_command). The
+  /// command is proposed until it occupies a log slot.
+  void submit(Value command);
+
+  /// Crash-stop: silences this replica.
+  void crash();
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] ProcessId id() const { return config_.self; }
+  /// The decided prefix (slot k at index k - 1). No-ops included.
+  [[nodiscard]] const std::vector<Value>& log() const { return log_; }
+  /// Commands submitted here and not yet decided anywhere visible.
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  [[nodiscard]] Slot next_slot() const { return next_slot_; }
+
+ private:
+  /// Per-instance fan-out: tags outgoing messages with the slot number.
+  class SlotTransport final : public ConsensusTransport {
+   public:
+    SlotTransport(ReplicatedLog& owner, Slot slot)
+        : owner_(owner), slot_(slot) {}
+    void send(ProcessId to, ConsensusMessage msg) override {
+      owner_.net_.send(owner_.id(), to, LogMessage{slot_, std::move(msg)});
+    }
+    void broadcast(const ConsensusMessage& msg) override {
+      owner_.net_.broadcast(owner_.id(), LogMessage{slot_, msg});
+    }
+
+   private:
+    ReplicatedLog& owner_;
+    Slot slot_;
+  };
+
+  struct Instance {
+    std::unique_ptr<SlotTransport> transport;
+    std::unique_ptr<ConsensusProcess> process;
+  };
+
+  void handle(ProcessId from, const LogMessage& msg);
+  Instance& ensure_instance(Slot slot);
+  void propose_current();
+  void poll();
+
+  sim::Simulation& sim_;
+  LogNetwork& net_;
+  ReplicatedLogConfig config_;
+  const core::FailureDetector& fd_;
+
+  bool started_{false};
+  bool crashed_{false};
+  Slot next_slot_{1};  ///< the instance currently being decided
+  std::vector<Value> log_;
+  std::deque<Value> pending_;
+  std::map<Slot, Instance> instances_;
+};
+
+}  // namespace mmrfd::consensus

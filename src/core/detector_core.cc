@@ -1,0 +1,152 @@
+#include "core/detector_core.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mmrfd::core {
+
+namespace {
+bool contains_sorted(const std::vector<ProcessId>& v, ProcessId id) {
+  return std::binary_search(v.begin(), v.end(), id);
+}
+
+void insert_sorted(std::vector<ProcessId>& v, ProcessId id) {
+  auto it = std::lower_bound(v.begin(), v.end(), id);
+  if (it == v.end() || *it != id) v.insert(it, id);
+}
+}  // namespace
+
+DetectorCore::DetectorCore(const DetectorConfig& config) : config_(config) {
+  assert(config_.n > 1);
+  assert(config_.f < config_.n);
+  assert(config_.self.value < config_.n);
+  // Known membership from the start (the DSN'03 model): every process of Pi
+  // except this one is a suspicion candidate.
+  known_.reserve(config_.n - 1);
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (i != config_.self.value) known_.push_back(ProcessId{i});
+  }
+}
+
+QueryMessage DetectorCore::start_query() {
+  assert(!in_progress_ || terminated_);
+  ++seq_;
+  in_progress_ = true;
+  rec_from_.clear();
+  winning_.clear();
+  // The issuer's own response is always counted, and always among the first
+  // quorum() (paper convention).
+  rec_from_.push_back(config_.self);
+  winning_.push_back(config_.self);
+  terminated_ = rec_from_.size() >= config_.quorum();
+
+  QueryMessage q;
+  q.seq = seq_;
+  q.suspected.assign(suspected_.entries().begin(), suspected_.entries().end());
+  q.mistakes.assign(mistake_.entries().begin(), mistake_.entries().end());
+  return q;
+}
+
+bool DetectorCore::on_response(ProcessId from, const ResponseMessage& response) {
+  if (!in_progress_ || response.seq != seq_) return false;  // stale round
+  if (terminated_ && !config_.accept_late_responses) return false;
+  auto it = std::lower_bound(rec_from_.begin(), rec_from_.end(), from);
+  if (it != rec_from_.end() && *it == from) return false;  // duplicate
+  rec_from_.insert(it, from);
+  if (!terminated_) {
+    winning_.push_back(from);
+    if (rec_from_.size() >= config_.quorum()) {
+      terminated_ = true;
+      std::sort(winning_.begin(), winning_.end());
+      return true;
+    }
+  }
+  return false;
+}
+
+void DetectorCore::finish_round() {
+  assert(terminated_);
+  // T1 lines 9-15: suspect every known process that did not respond and is
+  // not already suspected.
+  for (ProcessId pj : known_) {
+    if (contains_sorted(rec_from_, pj)) continue;
+    if (suspected_.contains(pj)) continue;
+    if (auto mtag = mistake_.tag_of(pj)) {
+      // A stale mistake exists: the fresh suspicion must dominate it.
+      counter_ = std::max(counter_, *mtag + 1);
+      mistake_.erase(pj);
+    }
+    add_suspicion(pj, counter_);
+  }
+  ++counter_;  // T1 line 16
+  ++rounds_;
+  in_progress_ = false;
+}
+
+ResponseMessage DetectorCore::on_query(ProcessId from,
+                                       const QueryMessage& query) {
+  insert_sorted(known_, from);  // T2 line 20 (no-op with known membership)
+
+  // First loop (T2 lines 21-31): merge the sender's suspicions.
+  for (const TaggedEntry& e : query.suspected) {
+    const auto mine = local_tag(e.id);
+    const bool newer = !mine.has_value() || *mine < e.tag;
+    if (!newer) continue;
+    if (e.id == config_.self) {
+      // Self-defence (lines 23-25): I am alive; generate a mistake whose tag
+      // strictly dominates the suspicion.
+      counter_ = std::max(counter_, e.tag + 1);
+      assert(!suspected_.contains(config_.self));
+      add_mistake(config_.self, counter_);
+    } else {
+      mistake_.erase(e.id);  // line 28
+      add_suspicion(e.id, e.tag);
+    }
+  }
+
+  // Second loop (T2 lines 32-37): merge the sender's mistakes. Note `<=`:
+  // on a tag tie the mistake wins over the suspicion.
+  for (const TaggedEntry& e : query.mistakes) {
+    const auto mine = local_tag(e.id);
+    const bool newer_or_tied = !mine.has_value() || *mine <= e.tag;
+    if (!newer_or_tied) continue;
+    add_mistake(e.id, e.tag);
+  }
+
+  return ResponseMessage{query.seq};  // T2 line 38
+}
+
+std::vector<ProcessId> DetectorCore::suspected() const {
+  return suspected_.ids();
+}
+
+bool DetectorCore::is_suspected(ProcessId id) const {
+  return suspected_.contains(id);
+}
+
+void DetectorCore::add_suspicion(ProcessId id, Tag tag) {
+  assert(id != config_.self);
+  assert(!mistake_.contains(id));  // callers erase the mistake entry first
+  const bool was_suspected = suspected_.contains(id);
+  suspected_.add(id, tag);
+  if (!was_suspected && observer_ != nullptr) {
+    observer_->on_suspected(id, tag);
+  }
+}
+
+void DetectorCore::add_mistake(ProcessId id, Tag tag) {
+  const bool was_suspected = suspected_.contains(id);
+  if (was_suspected) suspected_.erase(id);
+  mistake_.add(id, tag);
+  if (observer_ != nullptr) {
+    if (was_suspected) observer_->on_cleared(id, tag);
+    observer_->on_mistake(id, tag);
+  }
+}
+
+std::optional<Tag> DetectorCore::local_tag(ProcessId id) const {
+  if (auto t = suspected_.tag_of(id)) return t;
+  return mistake_.tag_of(id);
+}
+
+}  // namespace mmrfd::core

@@ -1,0 +1,151 @@
+// DetectorCore — the DSN'03 asynchronous failure-detector protocol as a
+// sans-I/O state machine.
+//
+// The core knows nothing about clocks, sockets or the simulator. A host
+// drives it:
+//
+//   QueryMessage q = core.start_query();          // T1 line: broadcast QUERY
+//   ... deliver q to all peers; for each peer query received:
+//   ResponseMessage r = core.on_query(from, q');  // T2 (merge + respond)
+//   ... for each response received:
+//   core.on_response(from, r');                   // returns true on the
+//                                                 // (n - f)th response
+//   ... once terminated (plus any pacing delay during which late responses
+//       may still be fed in):
+//   core.finish_round();                          // T1 lines 8-16
+//
+// Protocol recap (Mostefaoui–Mourgaya–Raynal, generalized presentation):
+//   * A query terminates when responses from (n - f) distinct processes have
+//     arrived; those responders are the round's *winning* responders. The
+//     issuer's own response is always counted first (the paper's
+//     convention), so only n - f - 1 remote responses are awaited.
+//   * T1: every known process that did not respond to the last query becomes
+//     suspected, tagged with the current round counter. If a mistake entry
+//     existed for it, the counter first jumps above the mistake's tag so the
+//     new suspicion dominates it.
+//   * T2: tagged suspicion/mistake information received in a query is merged
+//     newest-tag-wins; on a tie between a suspicion and a mistake the
+//     mistake prevails (the paper's `<` vs `<=` asymmetry). If the receiver
+//     finds *itself* suspected it generates a mistake with a strictly
+//     dominating tag — the self-defence that repairs false suspicions.
+//
+// Completeness needs no assumption: a crashed process stops responding and
+// can never defend itself. Eventual weak accuracy needs the behavioral
+// property MP (see properties.h).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/tagged_set.h"
+#include "common/types.h"
+#include "core/failure_detector.h"
+#include "core/messages.h"
+
+namespace mmrfd::core {
+
+struct DetectorConfig {
+  ProcessId self{0};
+  std::uint32_t n{0};  ///< |Pi| — known system cardinality
+  std::uint32_t f{0};  ///< max number of crashes tolerated, f < n
+
+  /// Count responses that arrive after query termination (e.g. during the
+  /// inter-query pacing delay) as responders of the round. Reduces false
+  /// suspicions; does not affect correctness (Section 6 of the lineage).
+  bool accept_late_responses{true};
+
+  /// Extra winning slack: wait for (n - f + extra_quorum) responses instead
+  /// of (n - f). Ablation knob (experiment E7); 0 is the paper's protocol.
+  std::uint32_t extra_quorum{0};
+
+  /// Number of responses that terminate a query.
+  [[nodiscard]] std::uint32_t quorum() const {
+    const std::uint32_t q = n - f + extra_quorum;
+    return q > n ? n : (q == 0 ? 1 : q);
+  }
+};
+
+class DetectorCore final : public FailureDetector {
+ public:
+  explicit DetectorCore(const DetectorConfig& config);
+
+  /// Registers an observer for suspicion transitions (may be nullptr).
+  void set_observer(SuspicionObserver* observer) { observer_ = observer; }
+
+  // --- T1: query issuing ---------------------------------------------------
+
+  /// Starts a new round and returns the QUERY to broadcast to all peers.
+  /// Requires the previous round (if any) to have been finish_round()ed:
+  /// a node issues a new query only after the previous one terminated.
+  [[nodiscard]] QueryMessage start_query();
+
+  /// Feeds a RESPONSE. Returns true exactly once per round: when the quorum
+  /// (n - f)th distinct response arrives and the query terminates. Stale
+  /// (old-seq) and duplicate responses are ignored.
+  bool on_response(ProcessId from, const ResponseMessage& response);
+
+  /// Runs the suspicion-generation step over known \ rec_from and advances
+  /// the round counter (T1 lines 9-16). Requires query_terminated().
+  void finish_round();
+
+  // --- T2: query serving ---------------------------------------------------
+
+  /// Merges the query's suspicion/mistake information into local state and
+  /// returns the RESPONSE to send back to `from`.
+  [[nodiscard]] ResponseMessage on_query(ProcessId from,
+                                         const QueryMessage& query);
+
+  // --- observers -----------------------------------------------------------
+
+  [[nodiscard]] std::vector<ProcessId> suspected() const override;
+  [[nodiscard]] bool is_suspected(ProcessId id) const override;
+
+  [[nodiscard]] const TaggedSet& suspected_set() const { return suspected_; }
+  [[nodiscard]] const TaggedSet& mistake_set() const { return mistake_; }
+  [[nodiscard]] Tag counter() const { return counter_; }
+  [[nodiscard]] QuerySeq query_seq() const { return seq_; }
+  [[nodiscard]] bool query_in_progress() const { return in_progress_; }
+  [[nodiscard]] bool query_terminated() const { return terminated_; }
+
+  /// All responders of the current/last round so far (self included).
+  [[nodiscard]] std::span<const ProcessId> rec_from() const {
+    return rec_from_;
+  }
+  /// The first quorum() responders (self included) — the *winning* set used
+  /// by the MP property machinery.
+  [[nodiscard]] std::span<const ProcessId> winning() const { return winning_; }
+
+  /// Processes this node has ever heard a query from (plus the initial
+  /// membership). With known membership this is Pi \ {self} from the start.
+  [[nodiscard]] std::span<const ProcessId> known() const { return known_; }
+
+  [[nodiscard]] const DetectorConfig& config() const { return config_; }
+
+  /// Rounds completed (finish_round() calls).
+  [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
+
+ private:
+  void add_suspicion(ProcessId id, Tag tag);
+  void add_mistake(ProcessId id, Tag tag);
+  /// Largest tag attached to `id` in either set, if any. The sets are
+  /// mutually exclusive, so this is simply the tag of the only entry.
+  [[nodiscard]] std::optional<Tag> local_tag(ProcessId id) const;
+
+  DetectorConfig config_;
+  SuspicionObserver* observer_{nullptr};
+
+  Tag counter_{0};
+  TaggedSet suspected_;
+  TaggedSet mistake_;
+  std::vector<ProcessId> known_;  // sorted, excludes self
+
+  QuerySeq seq_{0};
+  bool in_progress_{false};
+  bool terminated_{false};
+  std::vector<ProcessId> rec_from_;
+  std::vector<ProcessId> winning_;
+  std::uint64_t rounds_{0};
+};
+
+}  // namespace mmrfd::core

@@ -1,0 +1,45 @@
+// The unreliable-failure-detector abstraction (Chandra & Toueg) plus the
+// observer through which implementations publish suspicion transitions to
+// the metrics layer.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace mmrfd::core {
+
+/// Read-side of any failure detector: the per-process "oracle" that outputs
+/// the list of processes currently suspected of having crashed. Both the
+/// asynchronous (time-free) detector and the timer-based baselines implement
+/// this, so experiments and the consensus layer treat them uniformly.
+class FailureDetector {
+ public:
+  virtual ~FailureDetector() = default;
+
+  /// Snapshot of the currently suspected processes.
+  [[nodiscard]] virtual std::vector<ProcessId> suspected() const = 0;
+
+  /// True iff `id` is currently suspected.
+  [[nodiscard]] virtual bool is_suspected(ProcessId id) const = 0;
+};
+
+/// Callback interface through which a detector reports suspicion changes the
+/// instant they happen. Implementations with no interest in a hook inherit
+/// the empty default.
+class SuspicionObserver {
+ public:
+  virtual ~SuspicionObserver() = default;
+
+  /// `subject` entered the suspected set (tag = information's counter; 0 for
+  /// detectors without tags).
+  virtual void on_suspected(ProcessId subject, Tag tag) { (void)subject, (void)tag; }
+
+  /// `subject` left the suspected set.
+  virtual void on_cleared(ProcessId subject, Tag tag) { (void)subject, (void)tag; }
+
+  /// A mistake entry for `subject` was recorded (time-free detector only).
+  virtual void on_mistake(ProcessId subject, Tag tag) { (void)subject, (void)tag; }
+};
+
+}  // namespace mmrfd::core

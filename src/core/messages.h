@@ -1,0 +1,30 @@
+// Wire messages of the query-response protocol.
+//
+// A QUERY carries the sender's whole suspected and mistake sets (tagged
+// entries); a RESPONSE carries only the echoed query sequence number — all
+// failure information travels in queries, exactly as in the paper.
+#pragma once
+
+#include <vector>
+
+#include "common/tagged_set.h"
+#include "common/types.h"
+
+namespace mmrfd::core {
+
+struct QueryMessage {
+  QuerySeq seq{0};
+  std::vector<TaggedEntry> suspected;
+  std::vector<TaggedEntry> mistakes;
+
+  friend bool operator==(const QueryMessage&, const QueryMessage&) = default;
+};
+
+struct ResponseMessage {
+  QuerySeq seq{0};
+
+  friend bool operator==(const ResponseMessage&,
+                         const ResponseMessage&) = default;
+};
+
+}  // namespace mmrfd::core

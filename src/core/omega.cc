@@ -1,0 +1,21 @@
+#include "core/omega.h"
+
+namespace mmrfd::core {
+
+ProcessId extract_leader(const FailureDetector& fd, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!fd.is_suspected(ProcessId{i})) return ProcessId{i};
+  }
+  return kNoProcess;
+}
+
+ProcessId OmegaView::poll() {
+  const ProcessId next = extract_leader(fd_, n_);
+  if (next != current_) {
+    current_ = next;
+    ++changes_;
+  }
+  return current_;
+}
+
+}  // namespace mmrfd::core

@@ -1,0 +1,47 @@
+// Omega (eventual leader) on top of <>S output.
+//
+// The classic reduction: each process trusts the smallest-id process it does
+// not currently suspect. Under eventual weak accuracy some correct process p
+// is eventually never suspected anywhere; once every id below p's is crashed
+// (hence, by strong completeness, eventually suspected everywhere), all
+// correct processes stabilize on the same correct leader.
+//
+// The DSN'03 conclusion points at "other classes of failure detectors" as
+// the follow-up direction; this is the canonical such derivation and what
+// consensus protocols a la Paxos consume.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "core/failure_detector.h"
+
+namespace mmrfd::core {
+
+/// Smallest-id process in Pi = {0..n-1} not suspected by `fd`. If everything
+/// is suspected (cannot happen to a correct observer: it never suspects
+/// itself), returns kNoProcess.
+[[nodiscard]] ProcessId extract_leader(const FailureDetector& fd,
+                                       std::uint32_t n);
+
+/// Per-process leader view with change counting, for the Omega experiments.
+class OmegaView {
+ public:
+  OmegaView(const FailureDetector& fd, std::uint32_t n)
+      : fd_(fd), n_(n) {}
+
+  /// Recomputes the leader; returns it and counts a change if it differs
+  /// from the previous poll.
+  ProcessId poll();
+
+  [[nodiscard]] ProcessId current() const { return current_; }
+  [[nodiscard]] std::uint64_t changes() const { return changes_; }
+
+ private:
+  const FailureDetector& fd_;
+  std::uint32_t n_;
+  ProcessId current_{kNoProcess};
+  std::uint64_t changes_{0};
+};
+
+}  // namespace mmrfd::core

@@ -1,0 +1,175 @@
+#include "core/properties.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <optional>
+
+namespace mmrfd::core {
+
+void PropertyRecorder::record(ProcessId issuer, QuerySeq seq,
+                              TimePoint terminated_at,
+                              std::span<const ProcessId> winning) {
+  QueryRecord r;
+  r.issuer = issuer;
+  r.seq = seq;
+  r.terminated_at = terminated_at;
+  r.winning.assign(winning.begin(), winning.end());
+  assert(std::is_sorted(r.winning.begin(), r.winning.end()));
+  records_.push_back(std::move(r));
+}
+
+MpChecker::MpChecker(const PropertyRecorder& recorder, std::uint32_t f,
+                     std::span<const ProcessId> correct)
+    : recorder_(recorder), f_(f), correct_(correct.begin(), correct.end()) {
+  std::sort(correct_.begin(), correct_.end());
+}
+
+double MpChecker::winning_fraction(ProcessId p, ProcessId q) const {
+  std::size_t total = 0;
+  std::size_t won = 0;
+  for (const auto& r : recorder_.records()) {
+    if (r.issuer != q) continue;
+    ++total;
+    if (std::binary_search(r.winning.begin(), r.winning.end(), p)) ++won;
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(won) / static_cast<double>(total);
+}
+
+std::size_t MpChecker::query_count(ProcessId q) const {
+  std::size_t total = 0;
+  for (const auto& r : recorder_.records()) {
+    if (r.issuer == q) ++total;
+  }
+  return total;
+}
+
+MpVerdict MpChecker::check(std::size_t min_queries_after) const {
+  // Accuracy-guaranteeing form: the witness must have a violation-free
+  // suffix with respect to every correct issuer that produced enough
+  // queries to count as evidence.
+  const std::uint32_t n = recorder_.n();
+  constexpr TimePoint kNever =
+      TimePoint{std::numeric_limits<std::int64_t>::min()};
+  std::vector<std::vector<TimePoint>> issued(n);
+  for (const auto& r : recorder_.records()) {
+    issued[r.issuer.value].push_back(r.terminated_at);
+  }
+  for (auto& v : issued) std::sort(v.begin(), v.end());
+
+  MpVerdict best;
+  for (ProcessId p : correct_) {
+    std::vector<TimePoint> viol(n, kNever);
+    for (const auto& r : recorder_.records()) {
+      if (std::binary_search(r.winning.begin(), r.winning.end(), p)) continue;
+      viol[r.issuer.value] = std::max(viol[r.issuer.value], r.terminated_at);
+    }
+    MpVerdict v;
+    v.holds = true;
+    v.holds_perpetually = true;
+    v.witness = p;
+    TimePoint t_star = kNever;
+    for (ProcessId q : correct_) {
+      const auto& times = issued[q.value];
+      if (times.size() < min_queries_after) continue;  // not evidence
+      const auto after = static_cast<std::size_t>(
+          times.end() -
+          std::upper_bound(times.begin(), times.end(), viol[q.value]));
+      if (after < min_queries_after) {
+        v.holds = false;
+        break;
+      }
+      v.quorum_set.push_back(q);
+      t_star = std::max(t_star, viol[q.value]);
+      if (viol[q.value] != kNever) v.holds_perpetually = false;
+    }
+    if (!v.holds || v.quorum_set.empty()) continue;
+    v.holds_from = (t_star == kNever) ? kTimeZero : t_star;
+    const bool better =
+        !best.holds || (v.holds_perpetually && !best.holds_perpetually) ||
+        (v.holds_perpetually == best.holds_perpetually &&
+         v.holds_from < best.holds_from);
+    if (better) best = v;
+  }
+  return best;
+}
+
+MpVerdict MpChecker::check_with_quorum(std::size_t issuers,
+                                       std::size_t min_queries_after) const {
+  const std::uint32_t n = recorder_.n();
+  MpVerdict best;
+
+  // Per issuer q and candidate p, we need: the time of q's last query that p
+  // did NOT win (viol), and the number of q's queries after any time t.
+  // Precompute per-issuer sorted termination times.
+  std::vector<std::vector<TimePoint>> issued(n);
+  for (const auto& r : recorder_.records()) {
+    issued[r.issuer.value].push_back(r.terminated_at);
+  }
+  for (auto& v : issued) std::sort(v.begin(), v.end());
+
+  constexpr TimePoint kNever = TimePoint{std::numeric_limits<std::int64_t>::min()};
+
+  for (ProcessId p : correct_) {
+    // viol[q] = last violation time for (p, q); kNever if p won all of q's
+    // queries; nullopt slot unused when q issued nothing.
+    std::vector<std::optional<TimePoint>> viol(n);
+    for (std::uint32_t q = 0; q < n; ++q) {
+      if (issued[q].empty()) continue;  // never issued: cannot be in Q
+      viol[q] = kNever;
+    }
+    for (const auto& r : recorder_.records()) {
+      if (std::binary_search(r.winning.begin(), r.winning.end(), p)) continue;
+      auto& v = viol[r.issuer.value];
+      if (v.has_value()) v = std::max(*v, r.terminated_at);
+    }
+
+    // Candidates q, cheapest violation time first.
+    struct Cand {
+      ProcessId q;
+      TimePoint viol_at;
+    };
+    std::vector<Cand> cands;
+    for (std::uint32_t q = 0; q < n; ++q) {
+      if (!viol[q].has_value()) continue;
+      // q must still have min_queries_after queries after the violation,
+      // otherwise the "eventual" suffix is vacuous for q.
+      const auto& times = issued[q];
+      const auto after = static_cast<std::size_t>(
+          times.end() - std::upper_bound(times.begin(), times.end(),
+                                         *viol[q]));
+      if (after < min_queries_after) continue;
+      cands.push_back({ProcessId{q}, *viol[q]});
+    }
+    if (cands.size() < issuers) continue;
+    std::sort(cands.begin(), cands.end(), [](const Cand& a, const Cand& b) {
+      if (a.viol_at != b.viol_at) return a.viol_at < b.viol_at;
+      return a.q < b.q;
+    });
+
+    MpVerdict v;
+    v.holds = true;
+    v.witness = p;
+    v.quorum_set.reserve(issuers);
+    TimePoint t_star = kNever;
+    bool perpetual = true;
+    for (std::size_t i = 0; i < issuers; ++i) {
+      v.quorum_set.push_back(cands[i].q);
+      t_star = std::max(t_star, cands[i].viol_at);
+      if (cands[i].viol_at != kNever) perpetual = false;
+    }
+    v.holds_from = (t_star == kNever) ? kTimeZero : t_star;
+    v.holds_perpetually = perpetual;
+    std::sort(v.quorum_set.begin(), v.quorum_set.end());
+
+    const bool better =
+        !best.holds || (v.holds_perpetually && !best.holds_perpetually) ||
+        (v.holds_perpetually == best.holds_perpetually &&
+         v.holds_from < best.holds_from);
+    if (better) best = v;
+  }
+  return best;
+}
+
+}  // namespace mmrfd::core

@@ -1,0 +1,92 @@
+#include "core/simple_detector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mmrfd::core {
+
+SimpleDetectorCore::SimpleDetectorCore(const SimpleDetectorConfig& config)
+    : config_(config), suspected_(config.n, false) {
+  assert(config_.n > 1);
+  assert(config_.f < config_.n);
+}
+
+QueryMessage SimpleDetectorCore::start_query() {
+  assert(!in_progress_ || terminated_);
+  ++seq_;
+  in_progress_ = true;
+  rec_from_.clear();
+  rec_from_.push_back(config_.self);
+  terminated_ = rec_from_.size() >= config_.quorum();
+
+  QueryMessage q;
+  q.seq = seq_;
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (suspected_[i]) q.suspected.push_back({ProcessId{i}, 0});
+  }
+  return q;
+}
+
+bool SimpleDetectorCore::on_response(ProcessId from,
+                                     const ResponseMessage& response) {
+  if (!in_progress_ || response.seq != seq_) return false;
+  auto it = std::lower_bound(rec_from_.begin(), rec_from_.end(), from);
+  if (it != rec_from_.end() && *it == from) return false;
+  rec_from_.insert(it, from);
+  // A response is direct evidence of life.
+  set_suspected(from, false);
+  if (!terminated_ && rec_from_.size() >= config_.quorum()) {
+    terminated_ = true;
+    return true;
+  }
+  return false;
+}
+
+void SimpleDetectorCore::finish_round() {
+  assert(terminated_);
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    const ProcessId pj{i};
+    if (pj == config_.self) continue;
+    if (!std::binary_search(rec_from_.begin(), rec_from_.end(), pj)) {
+      set_suspected(pj, true);
+    }
+  }
+  ++rounds_;
+  in_progress_ = false;
+}
+
+ResponseMessage SimpleDetectorCore::on_query(ProcessId from,
+                                             const QueryMessage& query) {
+  // Direct evidence of life; the piggybacked sets are NOT merged — without
+  // tags, adopting third-party suspicions would poison the detector with
+  // unorderable stale information.
+  set_suspected(from, false);
+  return ResponseMessage{query.seq};
+}
+
+std::vector<ProcessId> SimpleDetectorCore::suspected() const {
+  std::vector<ProcessId> out;
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (suspected_[i]) out.push_back(ProcessId{i});
+  }
+  return out;
+}
+
+bool SimpleDetectorCore::is_suspected(ProcessId id) const {
+  return id.value < suspected_.size() && suspected_[id.value];
+}
+
+void SimpleDetectorCore::set_suspected(ProcessId id, bool suspect) {
+  assert(id != config_.self || !suspect);
+  if (suspected_[id.value] == suspect) return;
+  suspected_[id.value] = suspect;
+  if (observer_ != nullptr) {
+    if (suspect) {
+      observer_->on_suspected(id, 0);
+    } else {
+      observer_->on_cleared(id, 0);
+    }
+  }
+}
+
+}  // namespace mmrfd::core

@@ -1,0 +1,79 @@
+// SimpleDetectorCore — the tag-free variant of the query-response detector,
+// sound only under the *perpetual* message pattern (class S).
+//
+// If MP holds from the very first query (no correct process is ever missed
+// by its witnesses), no false suspicion of the witness can ever occur and
+// the whole mistake/tag machinery of the full protocol is dead weight: it
+// suffices to suspect `known \ rec_from` and to unsuspect a process when a
+// message from it arrives. This is the natural "simplest thing that works"
+// under the strong assumption — and it is *wrong* under the eventual
+// assumption: a process suspected during the unstable prefix can only be
+// excused by direct contact, so third parties holding stale suspicions of a
+// witness they never hear from directly keep them forever, breaking
+// eventual weak accuracy where the full protocol recovers.
+//
+// The pair (SimpleDetectorCore, DetectorCore) is the repository's ablation
+// of the paper's central design choice; experiment E9 measures it.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "core/failure_detector.h"
+#include "core/messages.h"
+
+namespace mmrfd::core {
+
+struct SimpleDetectorConfig {
+  ProcessId self{0};
+  std::uint32_t n{0};
+  std::uint32_t f{0};
+
+  [[nodiscard]] std::uint32_t quorum() const {
+    const std::uint32_t q = n - f;
+    return q == 0 ? 1 : q;
+  }
+};
+
+class SimpleDetectorCore final : public FailureDetector {
+ public:
+  explicit SimpleDetectorCore(const SimpleDetectorConfig& config);
+
+  void set_observer(SuspicionObserver* observer) { observer_ = observer; }
+
+  /// Starts a round. The query still carries the suspected set (so peers
+  /// can be measured/observed), but receivers ignore it for state updates —
+  /// there is no way to order stale vs fresh information without tags.
+  [[nodiscard]] QueryMessage start_query();
+
+  /// Returns true when the quorum-th distinct response arrives.
+  bool on_response(ProcessId from, const ResponseMessage& response);
+
+  /// Suspects known \ rec_from; unsuspects every responder.
+  void finish_round();
+
+  /// Any direct message from a live process clears its suspicion.
+  [[nodiscard]] ResponseMessage on_query(ProcessId from,
+                                         const QueryMessage& query);
+
+  [[nodiscard]] std::vector<ProcessId> suspected() const override;
+  [[nodiscard]] bool is_suspected(ProcessId id) const override;
+  [[nodiscard]] bool query_terminated() const { return terminated_; }
+  [[nodiscard]] QuerySeq query_seq() const { return seq_; }
+  [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
+  [[nodiscard]] const SimpleDetectorConfig& config() const { return config_; }
+
+ private:
+  void set_suspected(ProcessId id, bool suspect);
+
+  SimpleDetectorConfig config_;
+  SuspicionObserver* observer_{nullptr};
+  std::vector<bool> suspected_;
+  QuerySeq seq_{0};
+  bool in_progress_{false};
+  bool terminated_{false};
+  std::vector<ProcessId> rec_from_;
+  std::uint64_t rounds_{0};
+};
+
+}  // namespace mmrfd::core

@@ -1,0 +1,185 @@
+#include "metrics/analysis.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mmrfd::metrics {
+
+Analysis::Analysis(const EventLog& log, std::uint32_t n, TimePoint horizon)
+    : log_(log), n_(n), horizon_(horizon) {}
+
+std::optional<TimePoint> Analysis::crash_time(ProcessId id) const {
+  for (const auto& c : log_.crashes()) {
+    if (c.subject == id) return c.when;
+  }
+  return std::nullopt;
+}
+
+std::vector<ProcessId> Analysis::correct() const {
+  std::vector<ProcessId> out;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    if (!crash_time(ProcessId{i})) out.push_back(ProcessId{i});
+  }
+  return out;
+}
+
+std::vector<ProcessId> Analysis::faulty() const {
+  std::vector<ProcessId> out;
+  for (const auto& c : log_.crashes()) out.push_back(c.subject);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Detection> Analysis::detections() const {
+  std::vector<Detection> out;
+  const auto correct_set = correct();
+  for (const auto& c : log_.crashes()) {
+    for (ProcessId obs : correct_set) {
+      Detection d;
+      d.observer = obs;
+      d.subject = c.subject;
+      d.crash_at = c.when;
+      // The *final* suspicion interval: last kSuspected with no later
+      // kCleared (by this observer, of this subject).
+      std::optional<TimePoint> last_suspected;
+      for (const auto& e : log_.events()) {
+        if (e.observer != obs || e.subject != c.subject) continue;
+        if (e.kind == SuspicionEventKind::kSuspected) {
+          last_suspected = e.when;
+        } else if (e.kind == SuspicionEventKind::kCleared) {
+          last_suspected.reset();
+        }
+      }
+      d.detected_at = last_suspected;
+      out.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+std::vector<CrashDetectionSummary> Analysis::crash_summaries() const {
+  std::vector<CrashDetectionSummary> out;
+  const auto all = detections();
+  for (const auto& c : log_.crashes()) {
+    CrashDetectionSummary s;
+    s.subject = c.subject;
+    s.crash_at = c.when;
+    std::optional<Duration> worst;
+    bool all_detected = true;
+    for (const auto& d : all) {
+      if (d.subject != c.subject) continue;
+      ++s.observers;
+      if (auto lat = d.latency()) {
+        ++s.detected_by;
+        // A detection can begin *before* the crash (the process was already
+        // wrongly suspected and never repaired); clamp at zero.
+        const double secs = std::max(0.0, to_seconds(*lat));
+        s.latencies.add(secs);
+        const Duration clamped = std::max(Duration::zero(), *lat);
+        worst = worst ? std::max(*worst, clamped) : clamped;
+      } else {
+        all_detected = false;
+      }
+    }
+    if (all_detected && s.observers > 0) s.completeness_latency = worst;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<FalseSuspicion> Analysis::false_suspicions() const {
+  std::vector<FalseSuspicion> out;
+  const auto correct_set = correct();
+  auto is_correct = [&](ProcessId id) {
+    return std::binary_search(correct_set.begin(), correct_set.end(), id);
+  };
+  // Track open suspicion intervals per (observer, subject).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, TimePoint> open;
+  for (const auto& e : log_.events()) {
+    if (!is_correct(e.subject) || !is_correct(e.observer)) continue;
+    const auto key = std::make_pair(e.observer.value, e.subject.value);
+    if (e.kind == SuspicionEventKind::kSuspected) {
+      open.emplace(key, e.when);
+    } else if (e.kind == SuspicionEventKind::kCleared) {
+      auto it = open.find(key);
+      if (it != open.end()) {
+        out.push_back(FalseSuspicion{e.observer, e.subject, it->second, e.when});
+        open.erase(it);
+      }
+    }
+  }
+  for (const auto& [key, start] : open) {
+    out.push_back(FalseSuspicion{ProcessId{key.first}, ProcessId{key.second},
+                                 start, std::nullopt});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FalseSuspicion& a, const FalseSuspicion& b) {
+              return a.suspected_at < b.suspected_at;
+            });
+  return out;
+}
+
+std::vector<FalseSuspicionPoint> Analysis::false_suspicion_series() const {
+  struct Edge {
+    TimePoint when;
+    std::int64_t delta;
+  };
+  std::vector<Edge> edges;
+  for (const auto& fs : false_suspicions()) {
+    edges.push_back({fs.suspected_at, +1});
+    if (fs.cleared_at) edges.push_back({*fs.cleared_at, -1});
+  }
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.when < b.when; });
+  std::vector<FalseSuspicionPoint> series;
+  std::int64_t active = 0;
+  for (const auto& e : edges) {
+    active += e.delta;
+    if (!series.empty() && series.back().when == e.when) {
+      series.back().active = active;
+    } else {
+      series.push_back({e.when, active});
+    }
+  }
+  return series;
+}
+
+std::optional<TimePoint> Analysis::accuracy_stabilization() const {
+  const auto correct_set = correct();
+  std::optional<TimePoint> best;
+  for (ProcessId p : correct_set) {
+    // Last activity (suspicion start or end) naming p as subject; if an
+    // interval never closes, p fails.
+    TimePoint last = kTimeZero;
+    bool open_forever = false;
+    for (const auto& fs : false_suspicions()) {
+      if (fs.subject != p) continue;
+      if (!fs.cleared_at) {
+        open_forever = true;
+        break;
+      }
+      last = std::max(last, *fs.cleared_at);
+    }
+    if (open_forever) continue;
+    if (!best || last < *best) best = last;
+  }
+  return best;
+}
+
+std::optional<TimePoint> Analysis::full_accuracy_stabilization() const {
+  TimePoint last = kTimeZero;
+  for (const auto& fs : false_suspicions()) {
+    if (!fs.cleared_at) return std::nullopt;
+    last = std::max(last, *fs.cleared_at);
+  }
+  return last;
+}
+
+bool Analysis::strong_completeness() const {
+  for (const auto& s : crash_summaries()) {
+    if (!s.completeness_latency) return false;
+  }
+  return true;
+}
+
+}  // namespace mmrfd::metrics

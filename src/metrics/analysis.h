@@ -1,0 +1,104 @@
+// Offline analyzers over a run's EventLog: every number the experiments
+// report is computed here, so benches and tests share one definition of
+// "detection time", "false suspicion", etc.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "metrics/event_log.h"
+
+namespace mmrfd::metrics {
+
+/// Detection of one crash by one observer.
+struct Detection {
+  ProcessId observer;
+  ProcessId subject;
+  TimePoint crash_at{kTimeZero};
+  /// Start of the observer's *final* (permanent) suspicion of the subject;
+  /// unset if the observer never permanently suspected it in the horizon.
+  std::optional<TimePoint> detected_at;
+
+  [[nodiscard]] std::optional<Duration> latency() const {
+    if (!detected_at) return std::nullopt;
+    return *detected_at - crash_at;
+  }
+};
+
+/// Per-crash summary across all correct observers.
+struct CrashDetectionSummary {
+  ProcessId subject;
+  TimePoint crash_at{kTimeZero};
+  std::size_t observers{0};
+  std::size_t detected_by{0};  ///< observers that permanently suspected it
+  SampleSet latencies;         ///< seconds, one sample per detecting observer
+  /// Time until *all* observers permanently suspect (strong completeness
+  /// instant for this crash); unset if some observer never did.
+  std::optional<Duration> completeness_latency;
+};
+
+/// False (wrongful) suspicion: a correct subject entered someone's suspected
+/// set. `cleared_at` unset = never repaired within the horizon.
+struct FalseSuspicion {
+  ProcessId observer;
+  ProcessId subject;
+  TimePoint suspected_at{kTimeZero};
+  std::optional<TimePoint> cleared_at;
+};
+
+/// One point of the "active false suspicions over time" series (E3):
+/// after `when`, `active` wrongful (observer, subject) pairs are suspected.
+struct FalseSuspicionPoint {
+  TimePoint when{kTimeZero};
+  std::int64_t active{0};
+};
+
+class Analysis {
+ public:
+  /// `n` = system size; the log's crash records define the faulty set.
+  Analysis(const EventLog& log, std::uint32_t n, TimePoint horizon);
+
+  [[nodiscard]] std::vector<ProcessId> correct() const;
+  [[nodiscard]] std::vector<ProcessId> faulty() const;
+
+  /// Per-(observer, crash) detection outcomes for all correct observers.
+  [[nodiscard]] std::vector<Detection> detections() const;
+
+  /// Grouped per crash.
+  [[nodiscard]] std::vector<CrashDetectionSummary> crash_summaries() const;
+
+  /// All wrongful suspicions by correct observers of correct subjects.
+  [[nodiscard]] std::vector<FalseSuspicion> false_suspicions() const;
+
+  /// Step series of concurrently-active wrongful suspicions.
+  [[nodiscard]] std::vector<FalseSuspicionPoint> false_suspicion_series() const;
+
+  /// Eventual weak accuracy: some correct process is suspected by no correct
+  /// observer after the returned instant (the last wrongful-suspicion
+  /// activity involving it). Unset if every correct process is wrongfully
+  /// suspected "forever" (i.e. uncleared at the horizon).
+  [[nodiscard]] std::optional<TimePoint> accuracy_stabilization() const;
+
+  /// Global cleanliness: the instant of the *last* wrongful-suspicion repair
+  /// anywhere (time zero if there were none). Unset if any wrongful
+  /// suspicion was still open at the horizon. Strictly stronger than
+  /// accuracy_stabilization(): after this instant no correct process
+  /// suspects any correct process.
+  [[nodiscard]] std::optional<TimePoint> full_accuracy_stabilization() const;
+
+  /// Strong completeness: every crash permanently suspected by every correct
+  /// observer within the horizon.
+  [[nodiscard]] bool strong_completeness() const;
+
+ private:
+  [[nodiscard]] std::optional<TimePoint> crash_time(ProcessId id) const;
+
+  const EventLog& log_;
+  std::uint32_t n_;
+  TimePoint horizon_;
+};
+
+}  // namespace mmrfd::metrics

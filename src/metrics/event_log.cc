@@ -1,0 +1,19 @@
+#include "metrics/event_log.h"
+
+namespace mmrfd::metrics {
+
+void EventLog::record(ProcessId observer, ProcessId subject,
+                      SuspicionEventKind kind, Tag tag) {
+  events_.push_back(SuspicionEvent{sim_.now(), observer, subject, kind, tag});
+}
+
+void EventLog::record_crash(ProcessId subject) {
+  crashes_.push_back(CrashRecord{subject, sim_.now()});
+}
+
+core::SuspicionObserver* EventLog::observer_for(ProcessId observer_id) {
+  adapters_.push_back(std::make_unique<NodeObserver>(*this, observer_id));
+  return adapters_.back().get();
+}
+
+}  // namespace mmrfd::metrics

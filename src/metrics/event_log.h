@@ -1,0 +1,86 @@
+// Suspicion event log.
+//
+// Every detector implementation publishes suspicion transitions through
+// core::SuspicionObserver; the per-node adapters here stamp them with the
+// observing node and the virtual time, producing one global, ordered event
+// stream per run. All evaluation metrics (detection time, false-suspicion
+// counts, accuracy convergence) are pure functions of this log plus the
+// crash schedule — see analysis.h.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "core/failure_detector.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::metrics {
+
+enum class SuspicionEventKind : std::uint8_t {
+  kSuspected,  ///< subject entered observer's suspected set
+  kCleared,    ///< subject left observer's suspected set
+  kMistake,    ///< observer recorded a mistake entry for subject
+};
+
+struct SuspicionEvent {
+  TimePoint when{kTimeZero};
+  ProcessId observer;
+  ProcessId subject;
+  SuspicionEventKind kind{SuspicionEventKind::kSuspected};
+  Tag tag{0};
+};
+
+struct CrashRecord {
+  ProcessId subject;
+  TimePoint when{kTimeZero};
+};
+
+class EventLog {
+ public:
+  explicit EventLog(sim::Simulation& simulation) : sim_(simulation) {}
+
+  void record(ProcessId observer, ProcessId subject, SuspicionEventKind kind,
+              Tag tag);
+  void record_crash(ProcessId subject);
+
+  [[nodiscard]] const std::vector<SuspicionEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const std::vector<CrashRecord>& crashes() const {
+    return crashes_;
+  }
+  [[nodiscard]] TimePoint now() const { return sim_.now(); }
+
+  /// Returns (creating on first use) the observer adapter for `observer_id`.
+  /// The adapter's lifetime is owned by the log.
+  core::SuspicionObserver* observer_for(ProcessId observer_id);
+
+ private:
+  class NodeObserver final : public core::SuspicionObserver {
+   public:
+    NodeObserver(EventLog& log, ProcessId observer_id)
+        : log_(log), observer_id_(observer_id) {}
+    void on_suspected(ProcessId subject, Tag tag) override {
+      log_.record(observer_id_, subject, SuspicionEventKind::kSuspected, tag);
+    }
+    void on_cleared(ProcessId subject, Tag tag) override {
+      log_.record(observer_id_, subject, SuspicionEventKind::kCleared, tag);
+    }
+    void on_mistake(ProcessId subject, Tag tag) override {
+      log_.record(observer_id_, subject, SuspicionEventKind::kMistake, tag);
+    }
+
+   private:
+    EventLog& log_;
+    ProcessId observer_id_;
+  };
+
+  sim::Simulation& sim_;
+  std::vector<SuspicionEvent> events_;
+  std::vector<CrashRecord> crashes_;
+  std::vector<std::unique_ptr<NodeObserver>> adapters_;
+};
+
+}  // namespace mmrfd::metrics

@@ -1,0 +1,34 @@
+// Aligned plain-text table printer — every experiment binary reports its
+// rows through this so outputs are uniform and greppable; optional CSV
+// emission for plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mmrfd::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 3);
+  static std::string num(std::int64_t v);
+  static std::string num(std::uint64_t v);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mmrfd::metrics

@@ -1,0 +1,139 @@
+#include "net/delay_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mmrfd::net {
+
+namespace {
+Duration scaled(Duration d, double factor) {
+  return Duration(static_cast<Duration::rep>(
+      static_cast<double>(d.count()) * factor));
+}
+
+bool in_sorted(const std::vector<ProcessId>& v, ProcessId id) {
+  return std::binary_search(v.begin(), v.end(), id);
+}
+}  // namespace
+
+Duration UniformDelay::sample(ProcessId, ProcessId, TimePoint,
+                              Xoshiro256& rng) {
+  const double ns = rng.uniform(static_cast<double>(lo_.count()),
+                                static_cast<double>(hi_.count()));
+  return Duration(static_cast<Duration::rep>(ns));
+}
+
+Duration ExponentialDelay::sample(ProcessId, ProcessId, TimePoint,
+                                  Xoshiro256& rng) {
+  const double extra = rng.exponential(static_cast<double>(mean_.count()));
+  return base_ + Duration(static_cast<Duration::rep>(extra));
+}
+
+Duration LogNormalDelay::sample(ProcessId, ProcessId, TimePoint,
+                                Xoshiro256& rng) {
+  const double extra =
+      rng.lognormal(static_cast<double>(median_.count()), sigma_);
+  return base_ + Duration(static_cast<Duration::rep>(extra));
+}
+
+Duration ParetoDelay::sample(ProcessId, ProcessId, TimePoint,
+                             Xoshiro256& rng) {
+  const double extra =
+      rng.bounded_pareto(static_cast<double>(x_min_.count()), alpha_,
+                         static_cast<double>(cap_.count()));
+  return base_ + Duration(static_cast<Duration::rep>(extra));
+}
+
+FastSetDelay::FastSetDelay(std::unique_ptr<DelayModel> inner,
+                           std::vector<ProcessId> fast_set, double factor,
+                           Scope scope)
+    : inner_(std::move(inner)),
+      fast_set_(std::move(fast_set)),
+      factor_(factor),
+      scope_(scope) {
+  assert(inner_ != nullptr);
+  assert(factor_ > 0.0);
+  std::sort(fast_set_.begin(), fast_set_.end());
+}
+
+Duration FastSetDelay::sample(ProcessId from, ProcessId to, TimePoint now,
+                              Xoshiro256& rng) {
+  const Duration d = inner_->sample(from, to, now, rng);
+  const bool fast = in_sorted(fast_set_, from) ||
+                    (scope_ == Scope::kBothDirections &&
+                     in_sorted(fast_set_, to));
+  return fast ? scaled(d, factor_) : d;
+}
+
+SpikeDelay::SpikeDelay(std::unique_ptr<DelayModel> inner, TimePoint start,
+                       TimePoint end, double factor,
+                       std::vector<ProcessId> affected)
+    : inner_(std::move(inner)),
+      start_(start),
+      end_(end),
+      factor_(factor),
+      affected_(std::move(affected)) {
+  assert(inner_ != nullptr);
+  std::sort(affected_.begin(), affected_.end());
+}
+
+Duration SpikeDelay::sample(ProcessId from, ProcessId to, TimePoint now,
+                            Xoshiro256& rng) {
+  const Duration d = inner_->sample(from, to, now, rng);
+  if (now < start_ || now >= end_) return d;
+  if (!affected_.empty() && !in_sorted(affected_, from) &&
+      !in_sorted(affected_, to)) {
+    return d;
+  }
+  return scaled(d, factor_);
+}
+
+std::unique_ptr<DelayModel> make_preset(DelayPreset preset, Duration mean) {
+  const Duration base = mean / 4;
+  switch (preset) {
+    case DelayPreset::kConstant:
+      return std::make_unique<ConstantDelay>(mean);
+    case DelayPreset::kUniform:
+      return std::make_unique<UniformDelay>(base, 2 * mean - base);
+    case DelayPreset::kExponential:
+      return std::make_unique<ExponentialDelay>(base, mean - base);
+    case DelayPreset::kLogNormal:
+      // median chosen so the mean of base + LN is close to `mean`
+      // (E[LN(median, sigma)] = median * exp(sigma^2 / 2), sigma = 0.8).
+      return std::make_unique<LogNormalDelay>(
+          base, scaled(mean - base, 1.0 / 1.3771), 0.8);
+    case DelayPreset::kPareto:
+      // alpha = 1.5 heavy tail capped at 100x the mean.
+      return std::make_unique<ParetoDelay>(base, (mean - base) / 3, 1.5,
+                                           100 * mean);
+  }
+  throw std::invalid_argument("unknown delay preset");
+}
+
+DelayPreset parse_preset(const std::string& name) {
+  if (name == "constant") return DelayPreset::kConstant;
+  if (name == "uniform") return DelayPreset::kUniform;
+  if (name == "exponential") return DelayPreset::kExponential;
+  if (name == "lognormal") return DelayPreset::kLogNormal;
+  if (name == "pareto") return DelayPreset::kPareto;
+  throw std::invalid_argument("unknown delay preset: " + name);
+}
+
+const char* preset_name(DelayPreset preset) {
+  switch (preset) {
+    case DelayPreset::kConstant:
+      return "constant";
+    case DelayPreset::kUniform:
+      return "uniform";
+    case DelayPreset::kExponential:
+      return "exponential";
+    case DelayPreset::kLogNormal:
+      return "lognormal";
+    case DelayPreset::kPareto:
+      return "pareto";
+  }
+  return "?";
+}
+
+}  // namespace mmrfd::net

@@ -1,0 +1,148 @@
+// Link-delay models.
+//
+// The computation model is *asynchronous*: no upper bound on message transfer
+// delays is assumed by the protocol. Delay models exist only to generate
+// executions — including ones where the MP behavioral property holds (via
+// FastSetDelay bias) and ones where it does not. Baseline timeout detectors
+// are, by contrast, very sensitive to these distributions, which is exactly
+// what experiments E3/E5 measure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mmrfd::net {
+
+/// Samples a one-way delay for a message from `from` to `to` sent at `now`.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+  virtual Duration sample(ProcessId from, ProcessId to, TimePoint now,
+                          Xoshiro256& rng) = 0;
+};
+
+/// Fixed delay on every link.
+class ConstantDelay final : public DelayModel {
+ public:
+  explicit ConstantDelay(Duration d) : delay_(d) {}
+  Duration sample(ProcessId, ProcessId, TimePoint, Xoshiro256&) override {
+    return delay_;
+  }
+
+ private:
+  Duration delay_;
+};
+
+/// Uniform in [lo, hi).
+class UniformDelay final : public DelayModel {
+ public:
+  UniformDelay(Duration lo, Duration hi) : lo_(lo), hi_(hi) {}
+  Duration sample(ProcessId, ProcessId, TimePoint, Xoshiro256& rng) override;
+
+ private:
+  Duration lo_;
+  Duration hi_;
+};
+
+/// base + Exp(mean): the classic M/M queueing-ish network delay.
+class ExponentialDelay final : public DelayModel {
+ public:
+  ExponentialDelay(Duration base, Duration mean) : base_(base), mean_(mean) {}
+  Duration sample(ProcessId, ProcessId, TimePoint, Xoshiro256& rng) override;
+
+ private:
+  Duration base_;
+  Duration mean_;
+};
+
+/// base + LogNormal(median, sigma): heavy-ish tail, common WAN model.
+class LogNormalDelay final : public DelayModel {
+ public:
+  LogNormalDelay(Duration base, Duration median, double sigma)
+      : base_(base), median_(median), sigma_(sigma) {}
+  Duration sample(ProcessId, ProcessId, TimePoint, Xoshiro256& rng) override;
+
+ private:
+  Duration base_;
+  Duration median_;
+  double sigma_;
+};
+
+/// base + BoundedPareto(x_min, alpha, cap): genuinely heavy tail; the
+/// distribution under which fixed timeouts are hardest to pick.
+class ParetoDelay final : public DelayModel {
+ public:
+  ParetoDelay(Duration base, Duration x_min, double alpha, Duration cap)
+      : base_(base), x_min_(x_min), alpha_(alpha), cap_(cap) {}
+  Duration sample(ProcessId, ProcessId, TimePoint, Xoshiro256& rng) override;
+
+ private:
+  Duration base_;
+  Duration x_min_;
+  double alpha_;
+  Duration cap_;
+};
+
+/// Wraps an inner model and scales delays of messages involving processes in
+/// `fast_set` by `factor` (< 1). Engineering the MP property: if p is in the
+/// fast set, its responses tend to arrive among the first n - f, making p an
+/// eventual "winning responder" for every querier.
+///
+/// Scope: kSenderOnly speeds only messages *sent by* fast processes (fast
+/// transmit path). kBothDirections also speeds messages *to* them — the
+/// "well-connected host" model. The strict MP property (winning for every
+/// correct issuer's suffix) times a response from the moment the *query*
+/// leaves the issuer, so reliably engineering it needs both legs fast.
+class FastSetDelay final : public DelayModel {
+ public:
+  enum class Scope { kSenderOnly, kBothDirections };
+
+  FastSetDelay(std::unique_ptr<DelayModel> inner,
+               std::vector<ProcessId> fast_set, double factor,
+               Scope scope = Scope::kSenderOnly);
+  Duration sample(ProcessId from, ProcessId to, TimePoint now,
+                  Xoshiro256& rng) override;
+
+ private:
+  std::unique_ptr<DelayModel> inner_;
+  std::vector<ProcessId> fast_set_;  // sorted
+  double factor_;
+  Scope scope_;
+};
+
+/// Wraps an inner model and multiplies delays by `factor` during the window
+/// [start, end) for messages touching any process in `affected` (empty =
+/// everyone). Models a transient network slowdown / congestion spike.
+class SpikeDelay final : public DelayModel {
+ public:
+  SpikeDelay(std::unique_ptr<DelayModel> inner, TimePoint start, TimePoint end,
+             double factor, std::vector<ProcessId> affected = {});
+  Duration sample(ProcessId from, ProcessId to, TimePoint now,
+                  Xoshiro256& rng) override;
+
+ private:
+  std::unique_ptr<DelayModel> inner_;
+  TimePoint start_;
+  TimePoint end_;
+  double factor_;
+  std::vector<ProcessId> affected_;  // sorted; empty = all
+};
+
+/// Named presets used across tests/benches so every experiment describes its
+/// network the same way.
+enum class DelayPreset { kConstant, kUniform, kExponential, kLogNormal, kPareto };
+
+/// Builds a preset with the given mean one-way delay (roughly; the base is
+/// mean/4 for the randomized presets).
+std::unique_ptr<DelayModel> make_preset(DelayPreset preset, Duration mean);
+
+/// Parses "constant" | "uniform" | "exponential" | "lognormal" | "pareto".
+DelayPreset parse_preset(const std::string& name);
+const char* preset_name(DelayPreset preset);
+
+}  // namespace mmrfd::net

@@ -1,0 +1,154 @@
+// Simulated message-passing network.
+//
+// Semantics, matching the DSN'03 computation model:
+//   * reliable channels — no creation, alteration or loss of messages
+//     (an optional loss rate exists solely for stressing the timer-based
+//     baselines; the core protocol's experiments keep it at 0);
+//   * arbitrary, unbounded delays drawn from a DelayModel — the asynchrony;
+//   * crash-stop failures — a crashed process neither sends nor receives
+//     (deliveries to it are dropped silently);
+//   * no FIFO guarantee between a pair of processes (delays are sampled
+//     independently per message), which is strictly weaker than what the
+//     protocol needs — it needs nothing.
+//
+// Network is a class template over the protocol's message type (typically a
+// std::variant of the protocol's messages) so the layer stays protocol-
+// agnostic while deliveries remain statically typed.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/delay_model.h"
+#include "net/topology.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::net {
+
+struct NetworkStats {
+  std::uint64_t messages_sent{0};
+  std::uint64_t messages_delivered{0};
+  std::uint64_t messages_dropped_crash{0};
+  std::uint64_t messages_dropped_loss{0};
+  std::uint64_t messages_duplicated{0};
+  std::uint64_t bytes_sent{0};
+};
+
+template <typename Msg>
+class Network {
+ public:
+  using Handler = std::function<void(ProcessId from, const Msg&)>;
+  using SizeFn = std::function<std::size_t(const Msg&)>;
+
+  Network(sim::Simulation& simulation, Topology topology,
+          std::unique_ptr<DelayModel> delays, std::uint64_t seed)
+      : sim_(simulation),
+        topology_(std::move(topology)),
+        delays_(std::move(delays)),
+        rng_(derive_seed(seed, "net.delays")),
+        loss_rng_(derive_seed(seed, "net.loss")),
+        handlers_(topology_.size()),
+        crashed_(topology_.size(), false) {
+    assert(delays_ != nullptr);
+  }
+
+  [[nodiscard]] std::size_t size() const { return topology_.size(); }
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+
+  void set_handler(ProcessId id, Handler h) {
+    handlers_.at(id.value) = std::move(h);
+  }
+
+  /// Optional per-message wire-size estimator; enables bytes_sent stats.
+  void set_size_fn(SizeFn fn) { size_fn_ = std::move(fn); }
+
+  /// Fraction of messages silently dropped (baseline stress only; the model
+  /// itself has reliable channels).
+  void set_loss_rate(double p) {
+    assert(p >= 0.0 && p < 1.0);
+    loss_rate_ = p;
+  }
+
+  /// Fraction of messages delivered twice (independent delays). Like loss,
+  /// duplication violates the paper's channel model; the protocols must
+  /// nevertheless be idempotent against it (robustness tests).
+  void set_duplicate_rate(double p) {
+    assert(p >= 0.0 && p < 1.0);
+    duplicate_rate_ = p;
+  }
+
+  /// Marks a process crashed: it stops receiving immediately. (The caller is
+  /// responsible for silencing the process's own sends — hosts check
+  /// is_crashed() before acting.)
+  void crash(ProcessId id) { crashed_.at(id.value) = true; }
+
+  [[nodiscard]] bool is_crashed(ProcessId id) const {
+    return crashed_.at(id.value);
+  }
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+  /// Sends `msg` from `from` to `to`; delivery is scheduled after a sampled
+  /// delay. Sending to a non-neighbor or from a crashed process asserts.
+  void send(ProcessId from, ProcessId to, Msg msg) {
+    assert(!is_crashed(from));
+    assert(from == to || topology_.are_neighbors(from, to));
+    ++stats_.messages_sent;
+    if (size_fn_) stats_.bytes_sent += size_fn_(msg);
+    if (loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_)) {
+      ++stats_.messages_dropped_loss;
+      return;
+    }
+    if (duplicate_rate_ > 0.0 && loss_rng_.bernoulli(duplicate_rate_)) {
+      const Duration extra = delays_->sample(from, to, sim_.now(), rng_);
+      ++stats_.messages_duplicated;
+      sim_.schedule(extra, [this, from, to, m = msg]() {
+        deliver(from, to, m);
+      });
+    }
+    const Duration delay = delays_->sample(from, to, sim_.now(), rng_);
+    assert(delay >= Duration::zero());
+    sim_.schedule(delay, [this, from, to, m = std::move(msg)]() {
+      deliver(from, to, m);
+    });
+  }
+
+  /// Sends `msg` to every neighbor of `from` (excluding `from`: protocol
+  /// cores account for their own copy locally, which also implements the
+  /// paper's "its own response always arrives among the first" convention).
+  void broadcast(ProcessId from, const Msg& msg) {
+    for (ProcessId to : topology_.neighbors(from)) {
+      send(from, to, msg);
+    }
+  }
+
+ private:
+  void deliver(ProcessId from, ProcessId to, const Msg& msg) {
+    if (crashed_[to.value]) {
+      ++stats_.messages_dropped_crash;
+      return;
+    }
+    ++stats_.messages_delivered;
+    if (auto& h = handlers_[to.value]) h(from, msg);
+  }
+
+  sim::Simulation& sim_;
+  Topology topology_;
+  std::unique_ptr<DelayModel> delays_;
+  Xoshiro256 rng_;
+  Xoshiro256 loss_rng_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> crashed_;
+  double loss_rate_{0.0};
+  double duplicate_rate_{0.0};
+  SizeFn size_fn_;
+  NetworkStats stats_;
+};
+
+}  // namespace mmrfd::net

@@ -1,0 +1,53 @@
+// Communication topology.
+//
+// The DSN'03 model is a complete graph over a known membership; experiments
+// use Topology::full(). Ring/star/random variants exist for unit tests and
+// for stressing the gossip baseline, not for the core protocol's model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mmrfd::net {
+
+class Topology {
+ public:
+  /// Complete graph K_n.
+  static Topology full(std::size_t n);
+  /// Cycle p_0 - p_1 - ... - p_{n-1} - p_0.
+  static Topology ring(std::size_t n);
+  /// Star centred at p_0.
+  static Topology star(std::size_t n);
+  /// Erdos-Renyi G(n, p), forced connected by adding a ring first.
+  static Topology random_connected(std::size_t n, double edge_prob,
+                                   std::uint64_t seed);
+  /// Build from an explicit undirected edge list.
+  static Topology from_edges(std::size_t n,
+                             std::span<const std::pair<std::uint32_t, std::uint32_t>> edges);
+
+  [[nodiscard]] std::size_t size() const { return adjacency_.size(); }
+  [[nodiscard]] bool are_neighbors(ProcessId a, ProcessId b) const;
+  /// Sorted neighbor ids of `id` (excluding `id` itself).
+  [[nodiscard]] std::span<const ProcessId> neighbors(ProcessId id) const;
+  /// Minimum degree over all vertices.
+  [[nodiscard]] std::size_t min_degree() const;
+  /// True if the graph is connected (BFS).
+  [[nodiscard]] bool connected() const;
+  /// True if every pair of vertices remains connected after removing any
+  /// set of `k` vertices — exact check, exponential in k; used in tests
+  /// with small k only.
+  [[nodiscard]] bool k_vertex_connected(std::size_t k) const;
+
+ private:
+  explicit Topology(std::size_t n) : adjacency_(n) {}
+  void add_edge(std::uint32_t a, std::uint32_t b);
+  [[nodiscard]] bool connected_excluding(const std::vector<bool>& removed) const;
+
+  std::vector<std::vector<ProcessId>> adjacency_;  // sorted neighbor lists
+};
+
+}  // namespace mmrfd::net

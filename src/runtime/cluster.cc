@@ -1,0 +1,79 @@
+#include "runtime/cluster.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+#include "net/topology.h"
+
+namespace mmrfd::runtime {
+
+std::unique_ptr<net::DelayModel> MmrCluster::build_delays(
+    const MmrClusterConfig& config) {
+  auto model = net::make_preset(config.delay_preset, config.mean_delay);
+  if (!config.fast_set.empty()) {
+    // Both directions: the MP witness must receive queries quickly too, or
+    // the issuer->witness leg alone can push its response out of the
+    // winning window.
+    model = std::make_unique<net::FastSetDelay>(
+        std::move(model), config.fast_set, config.fast_factor,
+        net::FastSetDelay::Scope::kBothDirections);
+  }
+  if (config.spike) {
+    model = std::make_unique<net::SpikeDelay>(
+        std::move(model), config.spike->start, config.spike->end,
+        config.spike->factor, config.spike->affected);
+  }
+  return model;
+}
+
+MmrCluster::MmrCluster(const MmrClusterConfig& config)
+    : config_(config),
+      net_(std::make_unique<MmrNetwork>(sim_, net::Topology::full(config.n),
+                                        build_delays(config), config.seed)),
+      log_(sim_),
+      recorder_(config.n) {
+  assert(config_.f < config_.n);
+  Xoshiro256 stagger_rng(derive_seed(config_.seed, "cluster.stagger"));
+  hosts_.reserve(config_.n);
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    MmrHostConfig hc;
+    hc.detector.self = ProcessId{i};
+    hc.detector.n = config_.n;
+    hc.detector.f = config_.f;
+    hc.detector.accept_late_responses = config_.accept_late_responses;
+    hc.detector.extra_quorum = config_.extra_quorum;
+    hc.pacing = config_.pacing;
+    hc.pacing_jitter = config_.pacing_jitter;
+    hc.jitter_seed = config_.seed;
+    // Desynchronize the first queries across [0, pacing).
+    hc.initial_delay = Duration(static_cast<Duration::rep>(
+        stagger_rng.next_double() *
+        static_cast<double>(config_.pacing.count())));
+    hosts_.push_back(std::make_unique<MmrHost>(
+        sim_, *net_, hc, &recorder_, log_.observer_for(ProcessId{i})));
+  }
+}
+
+void MmrCluster::start(const CrashPlan& plan) {
+  assert(!started_);
+  started_ = true;
+  for (auto& h : hosts_) h->start();
+  for (const auto& e : plan.entries) {
+    sim_.schedule_at(e.when, [this, victim = e.victim] {
+      if (!hosts_[victim.value]->crashed()) {
+        hosts_[victim.value]->crash();
+        log_.record_crash(victim);
+      }
+    });
+  }
+}
+
+std::vector<ProcessId> MmrCluster::alive() const {
+  std::vector<ProcessId> out;
+  for (const auto& h : hosts_) {
+    if (!h->crashed()) out.push_back(h->id());
+  }
+  return out;
+}
+
+}  // namespace mmrfd::runtime

@@ -1,0 +1,98 @@
+// MmrCluster — a complete simulated deployment of the asynchronous failure
+// detector: simulator + network + n hosts + event log + MP recorder, built
+// from one declarative config. This is the entry point used by the examples,
+// the integration tests and every experiment binary.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "core/properties.h"
+#include "metrics/event_log.h"
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "runtime/crash_plan.h"
+#include "runtime/mmr_host.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::runtime {
+
+/// Transient network slowdown: delays of messages touching `affected`
+/// (everyone if empty) are multiplied by `factor` during [start, end).
+struct SpikeSpec {
+  TimePoint start{kTimeZero};
+  TimePoint end{kTimeZero};
+  double factor{10.0};
+  std::vector<ProcessId> affected;
+};
+
+struct MmrClusterConfig {
+  std::uint32_t n{10};
+  std::uint32_t f{2};
+  std::uint64_t seed{42};
+
+  /// Inter-query pacing Delta (the evaluation uses 1 s).
+  Duration pacing{from_millis(1000)};
+  /// Relative per-round pacing jitter in [0, 1) — "finite but arbitrary"
+  /// inter-query times.
+  double pacing_jitter{0.0};
+  /// Mean one-hop network delay (the evaluation uses 1 ms).
+  Duration mean_delay{from_millis(1)};
+  net::DelayPreset delay_preset{net::DelayPreset::kExponential};
+
+  /// Processes whose outgoing messages are sped up by `fast_factor` — the
+  /// engineered way to make the MP behavioral property hold. Empty = no bias
+  /// (MP may still hold by luck; the checker decides).
+  std::vector<ProcessId> fast_set;
+  double fast_factor{0.1};
+
+  std::optional<SpikeSpec> spike;
+
+  /// Protocol knobs (see core::DetectorConfig).
+  bool accept_late_responses{true};
+  std::uint32_t extra_quorum{0};
+};
+
+class MmrCluster {
+ public:
+  explicit MmrCluster(const MmrClusterConfig& config);
+
+  /// Schedules the crash plan and starts every host. Call once.
+  void start(const CrashPlan& plan = CrashPlan::none());
+
+  void run_for(Duration d) { sim_.run_for(d); }
+  void run_until(TimePoint t) { sim_.run_until(t); }
+
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] MmrNetwork& network() { return *net_; }
+  [[nodiscard]] const MmrNetwork& network() const { return *net_; }
+  [[nodiscard]] metrics::EventLog& log() { return log_; }
+  [[nodiscard]] const metrics::EventLog& log() const { return log_; }
+  [[nodiscard]] core::PropertyRecorder& recorder() { return recorder_; }
+  [[nodiscard]] MmrHost& host(ProcessId id) { return *hosts_.at(id.value); }
+  [[nodiscard]] const MmrHost& host(ProcessId id) const {
+    return *hosts_.at(id.value);
+  }
+  [[nodiscard]] std::uint32_t n() const { return config_.n; }
+  [[nodiscard]] const MmrClusterConfig& config() const { return config_; }
+
+  /// Ids of processes that have not crashed (yet).
+  [[nodiscard]] std::vector<ProcessId> alive() const;
+
+ private:
+  static std::unique_ptr<net::DelayModel> build_delays(
+      const MmrClusterConfig& config);
+
+  MmrClusterConfig config_;
+  sim::Simulation sim_;
+  std::unique_ptr<MmrNetwork> net_;
+  metrics::EventLog log_;
+  core::PropertyRecorder recorder_;
+  std::vector<std::unique_ptr<MmrHost>> hosts_;
+  bool started_{false};
+};
+
+}  // namespace mmrfd::runtime

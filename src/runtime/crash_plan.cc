@@ -1,0 +1,67 @@
+#include "runtime/crash_plan.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace mmrfd::runtime {
+
+CrashPlan CrashPlan::uniform(std::size_t k, std::uint32_t n, TimePoint t0,
+                             TimePoint t1, std::uint64_t seed,
+                             std::span<const ProcessId> protect) {
+  assert(t1 >= t0);
+  std::vector<ProcessId> pool;
+  pool.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const ProcessId id{i};
+    if (std::find(protect.begin(), protect.end(), id) == protect.end()) {
+      pool.push_back(id);
+    }
+  }
+  assert(k <= pool.size());
+  Xoshiro256 rng(derive_seed(seed, "crash_plan"));
+  // Partial Fisher-Yates for the victims.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.next_below(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  CrashPlan plan;
+  const auto span_ns = static_cast<double>((t1 - t0).count());
+  for (std::size_t i = 0; i < k; ++i) {
+    // Evenly spaced slots with jitter, so crashes are spread over the window.
+    const double slot = (static_cast<double>(i) + rng.next_double()) /
+                        static_cast<double>(k);
+    const TimePoint when =
+        t0 + Duration(static_cast<Duration::rep>(slot * span_ns));
+    plan.entries.push_back({pool[i], when});
+  }
+  std::sort(plan.entries.begin(), plan.entries.end(),
+            [](const Entry& a, const Entry& b) { return a.when < b.when; });
+  return plan;
+}
+
+CrashPlan CrashPlan::simultaneous(std::span<const ProcessId> victims,
+                                  TimePoint when) {
+  CrashPlan plan;
+  for (ProcessId v : victims) plan.entries.push_back({v, when});
+  return plan;
+}
+
+std::vector<ProcessId> CrashPlan::victims() const {
+  std::vector<ProcessId> out;
+  out.reserve(entries.size());
+  for (const auto& e : entries) out.push_back(e.victim);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool CrashPlan::crashes(ProcessId id) const {
+  for (const auto& e : entries) {
+    if (e.victim == id) return true;
+  }
+  return false;
+}
+
+}  // namespace mmrfd::runtime

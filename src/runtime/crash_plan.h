@@ -1,0 +1,37 @@
+// Crash schedules: which processes crash, and when.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mmrfd::runtime {
+
+struct CrashPlan {
+  struct Entry {
+    ProcessId victim;
+    TimePoint when{kTimeZero};
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] static CrashPlan none() { return {}; }
+
+  /// `k` distinct victims drawn uniformly from {0..n-1} minus `protect`,
+  /// with crash instants spread uniformly over [t0, t1) — the "faults are
+  /// uniformly inserted during an experiment" workload.
+  [[nodiscard]] static CrashPlan uniform(std::size_t k, std::uint32_t n,
+                                         TimePoint t0, TimePoint t1,
+                                         std::uint64_t seed,
+                                         std::span<const ProcessId> protect = {});
+
+  /// All of `victims` crash at the same instant (correlated failure).
+  [[nodiscard]] static CrashPlan simultaneous(std::span<const ProcessId> victims,
+                                              TimePoint when);
+
+  [[nodiscard]] std::vector<ProcessId> victims() const;
+  [[nodiscard]] bool crashes(ProcessId id) const;
+};
+
+}  // namespace mmrfd::runtime

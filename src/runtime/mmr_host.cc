@@ -1,0 +1,76 @@
+#include "runtime/mmr_host.h"
+
+#include <cassert>
+
+namespace mmrfd::runtime {
+
+MmrHost::MmrHost(sim::Simulation& simulation, MmrNetwork& network,
+                 const MmrHostConfig& config,
+                 core::PropertyRecorder* recorder,
+                 core::SuspicionObserver* observer)
+    : sim_(simulation),
+      net_(network),
+      config_(config),
+      core_(config.detector),
+      recorder_(recorder),
+      jitter_rng_(derive_seed(config.jitter_seed, "host.jitter",
+                              config.detector.self.value)) {
+  assert(config_.pacing_jitter >= 0.0 && config_.pacing_jitter < 1.0);
+  core_.set_observer(observer);
+  net_.set_handler(id(), [this](ProcessId from, const MmrMessage& msg) {
+    handle(from, msg);
+  });
+}
+
+void MmrHost::start() {
+  assert(!started_);
+  started_ = true;
+  sim_.schedule(config_.initial_delay, [this] { begin_round(); });
+}
+
+void MmrHost::crash() {
+  crashed_ = true;
+  net_.crash(id());
+}
+
+void MmrHost::begin_round() {
+  if (crashed_) return;
+  const core::QueryMessage q = core_.start_query();
+  net_.broadcast(id(), q);
+  // With f = n - 1 the quorum is the self-response alone and the query
+  // terminates instantly.
+  if (core_.query_terminated()) on_terminated();
+}
+
+void MmrHost::on_terminated() {
+  if (recorder_ != nullptr) {
+    recorder_->record(id(), core_.query_seq(), sim_.now(), core_.winning());
+  }
+  // Pacing window: late responses arriving before the next query still flow
+  // into rec_from via on_response (accept_late_responses).
+  sim_.schedule(next_pacing(), [this] {
+    if (crashed_) return;
+    core_.finish_round();
+    begin_round();
+  });
+}
+
+Duration MmrHost::next_pacing() {
+  if (config_.pacing_jitter == 0.0) return config_.pacing;
+  const double factor = jitter_rng_.uniform(1.0 - config_.pacing_jitter,
+                                            1.0 + config_.pacing_jitter);
+  return Duration(static_cast<Duration::rep>(
+      static_cast<double>(config_.pacing.count()) * factor));
+}
+
+void MmrHost::handle(ProcessId from, const MmrMessage& msg) {
+  if (crashed_) return;
+  if (const auto* q = std::get_if<core::QueryMessage>(&msg)) {
+    const core::ResponseMessage r = core_.on_query(from, *q);
+    net_.send(id(), from, MmrMessage{r});
+  } else if (const auto* r = std::get_if<core::ResponseMessage>(&msg)) {
+    if (core_.on_response(from, *r)) on_terminated();
+  }
+}
+
+}  // namespace mmrfd::runtime

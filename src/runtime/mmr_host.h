@@ -1,0 +1,82 @@
+// MmrHost — binds a DetectorCore to the simulated network and drives its
+// query rounds.
+//
+// Responsibilities (everything the sans-I/O core must not know about):
+//   * broadcasting QUERYs and RESPONSEs over net::Network;
+//   * the inter-query pacing delay Delta — the paper requires only that the
+//     time between consecutive queries is "finite but arbitrary"; the
+//     evaluation inserts a fixed Delta so the network is not flooded, and
+//     responses arriving during that window still count into rec_from;
+//   * reporting terminated rounds to the PropertyRecorder (for MP checking);
+//   * crash-stop: a crashed host stops all activity instantly.
+#pragma once
+
+#include <memory>
+#include <variant>
+
+#include "common/types.h"
+#include "core/detector_core.h"
+#include "core/messages.h"
+#include "core/properties.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::runtime {
+
+using MmrMessage = std::variant<core::QueryMessage, core::ResponseMessage>;
+using MmrNetwork = net::Network<MmrMessage>;
+
+struct MmrHostConfig {
+  core::DetectorConfig detector;
+  /// Pacing Delta between a query's termination and the next query.
+  Duration pacing{from_millis(1000)};
+  /// Relative jitter on the pacing, in [0, 1): each round's pacing is drawn
+  /// uniformly from pacing * [1 - jitter, 1 + jitter]. The paper requires
+  /// only that inter-query time is "finite but arbitrary" — jitter > 0
+  /// exercises that generality (see the ArbitraryPacing tests).
+  double pacing_jitter{0.0};
+  /// Seed for the jitter stream (derive from the cluster seed).
+  std::uint64_t jitter_seed{0};
+  /// First query fires at this offset (stagger hosts to avoid lockstep).
+  Duration initial_delay{Duration::zero()};
+};
+
+class MmrHost {
+ public:
+  MmrHost(sim::Simulation& simulation, MmrNetwork& network,
+          const MmrHostConfig& config,
+          core::PropertyRecorder* recorder = nullptr,
+          core::SuspicionObserver* observer = nullptr);
+
+  MmrHost(const MmrHost&) = delete;
+  MmrHost& operator=(const MmrHost&) = delete;
+
+  /// Schedules the first query; must be called once before the run.
+  void start();
+
+  /// Crash-stop: silences this host and tells the network to drop deliveries.
+  void crash();
+
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] ProcessId id() const { return config_.detector.self; }
+  [[nodiscard]] const core::DetectorCore& detector() const { return core_; }
+  [[nodiscard]] core::DetectorCore& detector() { return core_; }
+
+ private:
+  void begin_round();
+  void on_terminated();
+  void handle(ProcessId from, const MmrMessage& msg);
+
+  [[nodiscard]] Duration next_pacing();
+
+  sim::Simulation& sim_;
+  MmrNetwork& net_;
+  MmrHostConfig config_;
+  core::DetectorCore core_;
+  core::PropertyRecorder* recorder_;
+  Xoshiro256 jitter_rng_;
+  bool crashed_{false};
+  bool started_{false};
+};
+
+}  // namespace mmrfd::runtime

@@ -1,0 +1,64 @@
+// SimpleHost — drives the tag-free SimpleDetectorCore (the perpetual-
+// assumption / class-S variant) over the simulated network. Constructor
+// signature matches BaselineCluster's expectations, so
+//
+//   runtime::BaselineCluster<SimpleHost, SimpleHostConfig, MmrMessage>
+//
+// gives a full cluster of them (see runtime::SimpleCluster alias).
+#pragma once
+
+#include "core/simple_detector.h"
+#include "runtime/baseline_cluster.h"
+#include "runtime/mmr_host.h"
+
+namespace mmrfd::runtime {
+
+struct SimpleHostConfig {
+  core::SimpleDetectorConfig detector;
+  Duration pacing{from_millis(1000)};
+  Duration initial_delay{Duration::zero()};
+};
+
+class SimpleHost {
+ public:
+  SimpleHost(sim::Simulation& simulation, MmrNetwork& network,
+             const SimpleHostConfig& config,
+             core::SuspicionObserver* observer = nullptr);
+
+  SimpleHost(const SimpleHost&) = delete;
+  SimpleHost& operator=(const SimpleHost&) = delete;
+
+  void start();
+  void crash();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] ProcessId id() const { return config_.detector.self; }
+  [[nodiscard]] const core::SimpleDetectorCore& detector() const {
+    return core_;
+  }
+
+  // FailureDetector-style helpers so harnesses can treat hosts uniformly.
+  [[nodiscard]] std::vector<ProcessId> suspected() const {
+    return core_.suspected();
+  }
+  [[nodiscard]] bool is_suspected(ProcessId pid) const {
+    return core_.is_suspected(pid);
+  }
+
+ private:
+  void begin_round();
+  void on_terminated();
+  void handle(ProcessId from, const MmrMessage& msg);
+
+  sim::Simulation& sim_;
+  MmrNetwork& net_;
+  SimpleHostConfig config_;
+  core::SimpleDetectorCore core_;
+  bool crashed_{false};
+  bool started_{false};
+};
+
+/// A cluster of tag-free detectors (ablation harness for experiment E9).
+using SimpleCluster =
+    BaselineCluster<SimpleHost, SimpleHostConfig, MmrMessage>;
+
+}  // namespace mmrfd::runtime

@@ -1,0 +1,52 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mmrfd::sim {
+
+EventId Simulation::schedule(Duration delay, std::function<void()> fn) {
+  assert(delay >= Duration::zero());
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId Simulation::schedule_at(TimePoint when, std::function<void()> fn) {
+  assert(when >= now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return id;
+}
+
+bool Simulation::cancel(EventId id) {
+  if (id == kNoEvent || id >= next_id_) return false;
+  // Lazy cancellation: record the id; the pop loop skips it.
+  return cancelled_.insert(id).second;
+}
+
+void Simulation::run_until(TimePoint deadline) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    const Event& top = queue_.top();
+    if (top.when > deadline) break;
+    // Moving out of a priority_queue requires const_cast; the element is
+    // popped immediately after, so no ordering invariant is violated.
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++events_fired_;
+    ev.fn();
+  }
+  // Advance idle time to the deadline so run_for() composes, but never jump
+  // to the run_all() sentinel.
+  if (deadline != kTimeMax && now_ < deadline && !stop_requested_) {
+    now_ = deadline;
+  }
+}
+
+void Simulation::run_all() { run_until(kTimeMax); }
+
+}  // namespace mmrfd::sim

@@ -1,0 +1,143 @@
+#include "transport/codec.h"
+
+namespace mmrfd::transport {
+
+namespace {
+constexpr std::uint8_t kTypeQuery = 1;
+constexpr std::uint8_t kTypeResponse = 2;
+}  // namespace
+
+void Encoder::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void Encoder::entries(std::span<const TaggedEntry> es) {
+  u32(static_cast<std::uint32_t>(es.size()));
+  for (const auto& e : es) {
+    u32(e.id.value);
+    u64(e.tag);
+  }
+}
+
+std::optional<std::uint8_t> Decoder::u8() {
+  if (pos_ + 1 > data_.size()) return std::nullopt;
+  return data_[pos_++];
+}
+
+std::optional<std::uint32_t> Decoder::u32() {
+  if (pos_ + 4 > data_.size()) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> Decoder::u64() {
+  if (pos_ + 8 > data_.size()) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_++]) << (8 * i);
+  }
+  return v;
+}
+
+std::optional<std::vector<TaggedEntry>> Decoder::entries() {
+  const auto count = u32();
+  if (!count) return std::nullopt;
+  // Sanity bound: each entry takes 12 bytes; reject lying prefixes early.
+  if (static_cast<std::size_t>(*count) * 12 > data_.size()) return std::nullopt;
+  std::vector<TaggedEntry> out;
+  out.reserve(*count);
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    const auto id = u32();
+    const auto tag = u64();
+    if (!id || !tag) return std::nullopt;
+    out.push_back(TaggedEntry{ProcessId{*id}, *tag});
+  }
+  return out;
+}
+
+void encode(Encoder& e, const core::QueryMessage& m) {
+  e.u64(m.seq);
+  e.entries(m.suspected);
+  e.entries(m.mistakes);
+}
+
+void encode(Encoder& e, const core::ResponseMessage& m) { e.u64(m.seq); }
+
+std::optional<core::QueryMessage> decode_query(Decoder& d) {
+  core::QueryMessage m;
+  const auto seq = d.u64();
+  if (!seq) return std::nullopt;
+  m.seq = *seq;
+  auto susp = d.entries();
+  if (!susp) return std::nullopt;
+  m.suspected = std::move(*susp);
+  auto mist = d.entries();
+  if (!mist) return std::nullopt;
+  m.mistakes = std::move(*mist);
+  return m;
+}
+
+std::optional<core::ResponseMessage> decode_response(Decoder& d) {
+  const auto seq = d.u64();
+  if (!seq) return std::nullopt;
+  return core::ResponseMessage{*seq};
+}
+
+namespace {
+constexpr std::size_t kEnvelopeHeader = 4 + 1;  // sender + type
+}
+
+std::size_t wire_size(const core::QueryMessage& m) {
+  return kEnvelopeHeader + 8 + 4 + 12 * m.suspected.size() + 4 +
+         12 * m.mistakes.size();
+}
+
+std::size_t wire_size(const core::ResponseMessage&) {
+  return kEnvelopeHeader + 8;
+}
+
+std::vector<std::uint8_t> encode_envelope(ProcessId sender,
+                                          const WireMessage& m) {
+  Encoder e;
+  e.u32(sender.value);
+  if (const auto* q = std::get_if<core::QueryMessage>(&m)) {
+    e.u8(kTypeQuery);
+    encode(e, *q);
+  } else {
+    e.u8(kTypeResponse);
+    encode(e, std::get<core::ResponseMessage>(m));
+  }
+  return e.take();
+}
+
+std::optional<DecodedEnvelope> decode_envelope(
+    std::span<const std::uint8_t> datagram) {
+  Decoder d(datagram);
+  const auto sender = d.u32();
+  const auto type = d.u8();
+  if (!sender || !type) return std::nullopt;
+  if (*type == kTypeQuery) {
+    auto q = decode_query(d);
+    if (!q || !d.exhausted()) return std::nullopt;
+    return DecodedEnvelope{ProcessId{*sender}, std::move(*q)};
+  }
+  if (*type == kTypeResponse) {
+    auto r = decode_response(d);
+    if (!r || !d.exhausted()) return std::nullopt;
+    return DecodedEnvelope{ProcessId{*sender}, *r};
+  }
+  return std::nullopt;
+}
+
+}  // namespace mmrfd::transport

@@ -1,0 +1,91 @@
+#include "transport/realtime_detector.h"
+
+namespace mmrfd::transport {
+
+RealTimeDetector::RealTimeDetector(Transport& transport,
+                                   const RealTimeConfig& config)
+    : transport_(transport), config_(config), core_(config.detector) {
+  transport_.set_handler([this](ProcessId from, const WireMessage& msg) {
+    on_datagram(from, msg);
+  });
+}
+
+RealTimeDetector::~RealTimeDetector() { stop(); }
+
+void RealTimeDetector::start() {
+  {
+    std::lock_guard lock(mutex_);
+    if (running_) return;
+    running_ = true;
+    stopping_ = false;
+  }
+  transport_.start();
+  driver_ = std::thread([this] { driver_loop(); });
+}
+
+void RealTimeDetector::stop() {
+  {
+    std::lock_guard lock(mutex_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  quorum_cv_.notify_all();
+  driver_.join();
+  transport_.stop();
+  std::lock_guard lock(mutex_);
+  running_ = false;
+}
+
+void RealTimeDetector::driver_loop() {
+  std::unique_lock lock(mutex_);
+  while (!stopping_) {
+    const core::QueryMessage query = core_.start_query();
+    lock.unlock();
+    transport_.broadcast(WireMessage{query});
+    lock.lock();
+    // Wait for the quorum-th response (self counts already); re-checked on
+    // every incoming response. No timeout: the protocol is time-free — the
+    // only exits are quorum or shutdown.
+    quorum_cv_.wait(lock, [&] { return stopping_ || core_.query_terminated(); });
+    if (stopping_) return;
+    // Pacing window: late responses keep flowing into rec_from meanwhile.
+    quorum_cv_.wait_for(lock, config_.pacing, [&] { return stopping_; });
+    if (stopping_) return;
+    core_.finish_round();
+  }
+}
+
+void RealTimeDetector::on_datagram(ProcessId from, const WireMessage& msg) {
+  if (const auto* q = std::get_if<core::QueryMessage>(&msg)) {
+    core::ResponseMessage response;
+    {
+      std::lock_guard lock(mutex_);
+      response = core_.on_query(from, *q);
+    }
+    transport_.send(from, WireMessage{response});
+  } else if (const auto* r = std::get_if<core::ResponseMessage>(&msg)) {
+    bool terminated = false;
+    {
+      std::lock_guard lock(mutex_);
+      terminated = core_.on_response(from, *r);
+    }
+    if (terminated) quorum_cv_.notify_all();
+  }
+}
+
+std::vector<ProcessId> RealTimeDetector::suspected() const {
+  std::lock_guard lock(mutex_);
+  return core_.suspected();
+}
+
+bool RealTimeDetector::is_suspected(ProcessId id) const {
+  std::lock_guard lock(mutex_);
+  return core_.is_suspected(id);
+}
+
+std::uint64_t RealTimeDetector::rounds_completed() const {
+  std::lock_guard lock(mutex_);
+  return core_.rounds_completed();
+}
+
+}  // namespace mmrfd::transport

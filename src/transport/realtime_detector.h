@@ -1,0 +1,63 @@
+// RealTimeDetector — the DetectorCore driven by wall-clock pacing over a
+// real Transport (UDP or in-memory threads). The production-facing face of
+// the library: the exact state machine verified under simulation, bound to
+// sockets and threads.
+//
+// Threading model: one driver thread runs the query loop (broadcast, wait
+// for quorum on a condition variable, pace, finish round); the transport's
+// receive thread funnels into on_datagram(). A single mutex guards the core
+// — its per-event work is microseconds (see bench/micro_core), far below
+// any contention concern at protocol rates.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/detector_core.h"
+#include "transport/transport.h"
+
+namespace mmrfd::transport {
+
+struct RealTimeConfig {
+  core::DetectorConfig detector;
+  /// Inter-query pacing Delta (wall clock).
+  Duration pacing{from_millis(100)};
+};
+
+class RealTimeDetector final : public core::FailureDetector {
+ public:
+  RealTimeDetector(Transport& transport, const RealTimeConfig& config);
+  ~RealTimeDetector() override;
+
+  RealTimeDetector(const RealTimeDetector&) = delete;
+  RealTimeDetector& operator=(const RealTimeDetector&) = delete;
+
+  /// Starts the transport and the query loop.
+  void start();
+  /// Stops the loop and the transport. Idempotent.
+  void stop();
+
+  [[nodiscard]] std::vector<ProcessId> suspected() const override;
+  [[nodiscard]] bool is_suspected(ProcessId id) const override;
+
+  /// Rounds completed so far (monotone; for liveness checks in tests).
+  [[nodiscard]] std::uint64_t rounds_completed() const;
+
+ private:
+  void driver_loop();
+  void on_datagram(ProcessId from, const WireMessage& msg);
+
+  Transport& transport_;
+  RealTimeConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable quorum_cv_;
+  core::DetectorCore core_;
+  bool running_{false};
+  bool stopping_{false};
+  std::thread driver_;
+};
+
+}  // namespace mmrfd::transport

@@ -1,0 +1,110 @@
+// ReliableDatagram — positive-ack retransmission over any DatagramTransport.
+//
+// The paper's channel model is *reliable* (no creation, alteration or loss);
+// loopback UDP satisfies it in practice, but a lossy deployment does not —
+// and experiment-grade evidence (fault_injection_test) shows the protocol's
+// liveness genuinely needs reliability: a lost RESPONSE can stall a quorum
+// forever. This decorator restores the model over lossy links:
+//
+//   DATA frame:  [u8 'D'][u32 sender][u64 seq][payload...]
+//   ACK  frame:  [u8 'A'][u32 sender][u64 seq]
+//
+// Per-destination sequence numbers; unacked frames are retransmitted every
+// `retransmit_interval` up to `max_retries` (then dropped and counted — the
+// peer is presumed crashed, which the failure detector above will decide).
+// Receivers ack every DATA (including duplicates — the first ack may have
+// been lost) and deduplicate by (sender, seq) before delivery, so the layer
+// provides exactly-once delivery to the upper layer for every message it
+// does deliver, and at-least-once transmission effort.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "transport/datagram.h"
+
+namespace mmrfd::transport {
+
+/// Tracks which sequence numbers of one sender have been seen, compactly:
+/// everything <= floor is seen; above-floor seqs live in a set that is
+/// folded into the floor as it becomes contiguous. (Exposed for unit tests.)
+class SeqTracker {
+ public:
+  /// Marks `seq` seen; returns true iff it was fresh.
+  bool mark(std::uint64_t seq);
+
+  [[nodiscard]] std::uint64_t floor() const { return floor_; }
+  [[nodiscard]] std::size_t pending_size() const { return above_.size(); }
+
+ private:
+  std::uint64_t floor_{0};  // all seqs in [1, floor_] seen
+  std::set<std::uint64_t> above_;
+};
+
+struct ReliableConfig {
+  Duration retransmit_interval{from_millis(20)};
+  int max_retries{50};
+};
+
+struct ReliableStats {
+  std::uint64_t data_sent{0};
+  std::uint64_t retransmissions{0};
+  std::uint64_t gave_up{0};       ///< frames dropped after max_retries
+  std::uint64_t duplicates{0};    ///< received DATA suppressed by dedup
+  std::uint64_t acks_sent{0};
+  std::uint64_t malformed{0};
+};
+
+class ReliableDatagram final : public DatagramTransport {
+ public:
+  ReliableDatagram(DatagramTransport& inner, const ReliableConfig& config);
+  ~ReliableDatagram() override;
+
+  ReliableDatagram(const ReliableDatagram&) = delete;
+  ReliableDatagram& operator=(const ReliableDatagram&) = delete;
+
+  void set_handler(DatagramHandler handler) override;
+  void start() override;
+  void stop() override;
+  void send(ProcessId to, std::span<const std::uint8_t> datagram) override;
+
+  [[nodiscard]] ProcessId self() const override { return inner_.self(); }
+  [[nodiscard]] std::uint32_t cluster_size() const override {
+    return inner_.cluster_size();
+  }
+
+  [[nodiscard]] ReliableStats stats() const;
+  /// Frames currently awaiting an ack.
+  [[nodiscard]] std::size_t unacked() const;
+
+ private:
+  struct Pending {
+    ProcessId to;
+    std::vector<std::uint8_t> frame;
+    int retries{0};
+  };
+
+  void on_frame(std::span<const std::uint8_t> frame);
+  void retransmit_loop();
+
+  DatagramTransport& inner_;
+  ReliableConfig config_;
+  DatagramHandler handler_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool running_{false};
+  bool stopping_{false};
+  std::vector<std::uint64_t> next_seq_;            // per destination
+  std::map<std::pair<std::uint32_t, std::uint64_t>, Pending> pending_;
+  std::vector<SeqTracker> seen_;                   // per sender
+  ReliableStats stats_;
+  std::thread retransmitter_;
+};
+
+}  // namespace mmrfd::transport

@@ -1,0 +1,65 @@
+// TypedTransport — the codec layer: adapts any DatagramTransport (bytes) to
+// the typed Transport interface (WireMessage) the protocol drivers consume.
+// Malformed datagrams are counted and dropped, never surfaced.
+#pragma once
+
+#include <atomic>
+
+#include "transport/datagram.h"
+#include "transport/transport.h"
+
+namespace mmrfd::transport {
+
+class TypedTransport final : public Transport {
+ public:
+  explicit TypedTransport(DatagramTransport& datagrams)
+      : datagrams_(datagrams) {}
+
+  void set_handler(Handler handler) override {
+    handler_ = std::move(handler);
+    datagrams_.set_handler([this](std::span<const std::uint8_t> datagram) {
+      on_datagram(datagram);
+    });
+  }
+
+  void start() override { datagrams_.start(); }
+  void stop() override { datagrams_.stop(); }
+
+  void send(ProcessId to, const WireMessage& msg) override {
+    const auto bytes = encode_envelope(self(), msg);
+    datagrams_.send(to, bytes);
+  }
+
+  void broadcast(const WireMessage& msg) override {
+    const auto bytes = encode_envelope(self(), msg);
+    for (std::uint32_t i = 0; i < cluster_size(); ++i) {
+      if (i != self().value) datagrams_.send(ProcessId{i}, bytes);
+    }
+  }
+
+  [[nodiscard]] ProcessId self() const override { return datagrams_.self(); }
+  [[nodiscard]] std::uint32_t cluster_size() const override {
+    return datagrams_.cluster_size();
+  }
+
+  /// Datagrams rejected by the codec since start.
+  [[nodiscard]] std::uint64_t malformed_count() const {
+    return malformed_.load();
+  }
+
+ private:
+  void on_datagram(std::span<const std::uint8_t> datagram) {
+    auto decoded = decode_envelope(datagram);
+    if (!decoded || decoded->sender.value >= cluster_size()) {
+      malformed_.fetch_add(1);
+      return;
+    }
+    handler_(decoded->sender, decoded->message);
+  }
+
+  DatagramTransport& datagrams_;
+  Handler handler_;
+  std::atomic<std::uint64_t> malformed_{0};
+};
+
+}  // namespace mmrfd::transport

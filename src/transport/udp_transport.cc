@@ -1,0 +1,86 @@
+#include "transport/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "common/log.h"
+
+namespace mmrfd::transport {
+
+namespace {
+sockaddr_in peer_address(std::uint16_t base_port, ProcessId id) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(base_port + id.value));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+}  // namespace
+
+UdpTransport::UdpTransport(const UdpConfig& config) : config_(config) {
+  assert(config_.n > 0 && config_.self.value < config_.n);
+}
+
+UdpTransport::~UdpTransport() { stop(); }
+
+void UdpTransport::start() {
+  assert(handler_ && "set_handler before start");
+  if (fd_ >= 0) return;
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) {
+    throw std::system_error(errno, std::generic_category(), "socket");
+  }
+  const sockaddr_in addr = peer_address(config_.base_port, config_.self);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::system_error(err, std::generic_category(), "bind");
+  }
+  stopping_.store(false);
+  receiver_ = std::thread([this] { receive_loop(); });
+}
+
+void UdpTransport::stop() {
+  if (fd_ < 0) return;
+  stopping_.store(true);
+  if (receiver_.joinable()) receiver_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void UdpTransport::send(ProcessId to,
+                        std::span<const std::uint8_t> datagram) {
+  if (fd_ < 0) return;
+  const sockaddr_in addr = peer_address(config_.base_port, to);
+  const auto sent =
+      ::sendto(fd_, datagram.data(), datagram.size(), 0,
+               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (sent < 0) {
+    MMRFD_LOG_WARN("udp") << "sendto " << to << " failed: "
+                          << std::strerror(errno);
+  }
+}
+
+void UdpTransport::receive_loop() {
+  std::uint8_t buf[64 * 1024];
+  while (!stopping_.load()) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
+    const auto got = ::recvfrom(fd_, buf, sizeof(buf), 0, nullptr, nullptr);
+    if (got <= 0) continue;
+    handler_(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(got)));
+  }
+}
+
+}  // namespace mmrfd::transport

@@ -1,0 +1,60 @@
+// UDP loopback transport: process i binds 127.0.0.1:(base_port + i); every
+// datagram travels through the kernel's network stack. This is the
+// "messaging boilerplate" a real deployment needs — the repository's answer
+// to implementing the paper's exchange over sockets.
+//
+// Deliberate UDP fit: the protocol tolerates loss of RESPONSEs (a query
+// simply waits for other responders) and QUERYs are re-issued every round,
+// so datagram semantics cost only detection sharpness, never safety. (The
+// formal model assumes reliable channels; on loopback UDP loss is nil. A
+// lossy-WAN deployment stacks ReliableDatagram on top — see reliable.h.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "transport/datagram.h"
+
+namespace mmrfd::transport {
+
+struct UdpConfig {
+  ProcessId self{0};
+  std::uint32_t n{0};
+  std::uint16_t base_port{39000};
+};
+
+class UdpTransport final : public DatagramTransport {
+ public:
+  explicit UdpTransport(const UdpConfig& config);
+  ~UdpTransport() override;
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  /// Binds the socket; throws std::system_error on failure (port in use).
+  void start() override;
+  void stop() override;
+
+  void set_handler(DatagramHandler handler) override {
+    handler_ = std::move(handler);
+  }
+  void send(ProcessId to, std::span<const std::uint8_t> datagram) override;
+
+  [[nodiscard]] ProcessId self() const override { return config_.self; }
+  [[nodiscard]] std::uint32_t cluster_size() const override {
+    return config_.n;
+  }
+
+ private:
+  void receive_loop();
+
+  UdpConfig config_;
+  DatagramHandler handler_;
+  int fd_{-1};
+  std::atomic<bool> stopping_{false};
+  std::thread receiver_;
+};
+
+}  // namespace mmrfd::transport

@@ -1,0 +1,184 @@
+// Edge-case coverage for the baseline detectors that the main suites skim:
+// minimal cluster sizes, detector restarts of suspicion, timer semantics
+// around exact boundaries, gossip on sparse topologies with failures.
+#include <gtest/gtest.h>
+
+#include "baselines/adaptive.h"
+#include "baselines/gossip.h"
+#include "baselines/heartbeat.h"
+#include "baselines/phi_accrual.h"
+#include "metrics/analysis.h"
+#include "runtime/baseline_cluster.h"
+
+namespace mmrfd::baselines {
+namespace {
+
+TEST(HeartbeatEdge, TwoProcessMutualMonitoring) {
+  using Cluster = runtime::BaselineCluster<HeartbeatDetector, HeartbeatConfig,
+                                           HeartbeatMessage>;
+  Cluster c(2, net::Topology::full(2),
+            std::make_unique<net::ConstantDelay>(from_millis(1)), 1,
+            [](ProcessId self) {
+              HeartbeatConfig cfg;
+              cfg.self = self;
+              cfg.n = 2;
+              cfg.period = from_millis(50);
+              cfg.timeout = from_millis(150);
+              cfg.initial_delay = from_millis(self.value);
+              return cfg;
+            });
+  runtime::CrashPlan plan;
+  plan.entries.push_back({ProcessId{1}, from_seconds(1)});
+  c.start(plan);
+  c.run_for(from_seconds(3));
+  EXPECT_TRUE(c.detector(ProcessId{0}).is_suspected(ProcessId{1}));
+  EXPECT_FALSE(c.detector(ProcessId{0}).is_suspected(ProcessId{0}));
+}
+
+TEST(HeartbeatEdge, NeverStartedPeerTimesOutToo) {
+  // A peer that never sends a single heartbeat must still be suspected:
+  // timers are armed at start for every peer, not on first contact.
+  sim::Simulation sim;
+  HeartbeatNetwork net(sim, net::Topology::full(3),
+                       std::make_unique<net::ConstantDelay>(from_millis(1)),
+                       1);
+  HeartbeatConfig cfg;
+  cfg.self = ProcessId{0};
+  cfg.n = 3;
+  cfg.period = from_millis(50);
+  cfg.timeout = from_millis(200);
+  HeartbeatDetector d(sim, net, cfg);
+  // p1 chats, p2 stays silent forever.
+  net.set_handler(ProcessId{1}, [](ProcessId, const HeartbeatMessage&) {});
+  net.set_handler(ProcessId{2}, [](ProcessId, const HeartbeatMessage&) {});
+  d.start();
+  sim.schedule(from_millis(100), [&] {
+    net.send(ProcessId{1}, ProcessId{0}, HeartbeatMessage{1});
+  });
+  sim.run_for(from_millis(260));
+  EXPECT_FALSE(d.is_suspected(ProcessId{1}));
+  EXPECT_TRUE(d.is_suspected(ProcessId{2}));
+}
+
+TEST(PhiAccrualEdge, BootstrapSuspectsBornDeadPeer) {
+  // The Akka-style first-heartbeat estimate: a peer that crashes before its
+  // first heartbeat must still accrue suspicion (the cold-start hole that
+  // broke consensus termination before the fix — see E6 notes).
+  sim::Simulation sim;
+  HeartbeatNetwork net(sim, net::Topology::full(2),
+                       std::make_unique<net::ConstantDelay>(from_millis(1)),
+                       1);
+  PhiAccrualConfig cfg;
+  cfg.self = ProcessId{0};
+  cfg.n = 2;
+  cfg.period = from_millis(100);
+  cfg.threshold = 8.0;
+  cfg.poll = from_millis(20);
+  PhiAccrualDetector d(sim, net, cfg);
+  net.set_handler(ProcessId{1}, [](ProcessId, const HeartbeatMessage&) {});
+  d.start();  // p1 never sends anything
+  sim.run_for(from_seconds(3));
+  EXPECT_TRUE(d.is_suspected(ProcessId{1}));
+}
+
+TEST(PhiAccrualEdge, PhiAccessorTracksSilence) {
+  sim::Simulation sim;
+  HeartbeatNetwork net(sim, net::Topology::full(2),
+                       std::make_unique<net::ConstantDelay>(from_millis(1)),
+                       1);
+  PhiAccrualConfig cfg;
+  cfg.self = ProcessId{0};
+  cfg.n = 2;
+  cfg.period = from_millis(100);
+  PhiAccrualDetector d(sim, net, cfg);
+  net.set_handler(ProcessId{1}, [](ProcessId, const HeartbeatMessage&) {});
+  d.start();
+  for (int i = 1; i <= 5; ++i) {
+    net.send(ProcessId{1}, ProcessId{0},
+             HeartbeatMessage{static_cast<std::uint64_t>(i)});
+    sim.run_for(from_millis(100));
+  }
+  const double phi_fresh = d.phi(ProcessId{1});
+  sim.run_for(from_seconds(2));  // silence
+  EXPECT_GT(d.phi(ProcessId{1}), phi_fresh);
+}
+
+TEST(GossipEdge, StarTopologyLeafDetectsRemoteLeafCrash) {
+  // Leaves only talk to the hub; a leaf's crash must reach the other leaves
+  // transitively through the hub's merged counter vector.
+  using Cluster =
+      runtime::BaselineCluster<GossipDetector, GossipConfig, GossipMessage>;
+  Cluster c(5, net::Topology::star(5),
+            std::make_unique<net::ConstantDelay>(from_millis(2)), 3,
+            [](ProcessId self) {
+              GossipConfig cfg;
+              cfg.self = self;
+              cfg.n = 5;
+              cfg.period = from_millis(100);
+              cfg.timeout = from_seconds(1);
+              cfg.initial_delay = from_millis(self.value);
+              return cfg;
+            });
+  runtime::CrashPlan plan;
+  plan.entries.push_back({ProcessId{4}, from_seconds(2)});
+  c.start(plan);
+  c.run_for(from_seconds(10));
+  EXPECT_TRUE(c.detector(ProcessId{1}).is_suspected(ProcessId{4}));
+  EXPECT_FALSE(c.detector(ProcessId{1}).is_suspected(ProcessId{2}));
+}
+
+TEST(GossipEdge, HubCrashOnStarSuspectsEverythingBeyondIt) {
+  // When the star's hub dies, leaves lose all transitive information: every
+  // other leaf times out too (they are genuinely unreachable). Documents
+  // the topology-sensitivity that the full mesh hides.
+  using Cluster =
+      runtime::BaselineCluster<GossipDetector, GossipConfig, GossipMessage>;
+  Cluster c(4, net::Topology::star(4),
+            std::make_unique<net::ConstantDelay>(from_millis(2)), 5,
+            [](ProcessId self) {
+              GossipConfig cfg;
+              cfg.self = self;
+              cfg.n = 4;
+              cfg.period = from_millis(100);
+              cfg.timeout = from_millis(800);
+              cfg.initial_delay = from_millis(self.value);
+              return cfg;
+            });
+  runtime::CrashPlan plan;
+  plan.entries.push_back({ProcessId{0}, from_seconds(2)});  // the hub
+  c.start(plan);
+  c.run_for(from_seconds(6));
+  for (std::uint32_t leaf = 1; leaf < 4; ++leaf) {
+    EXPECT_TRUE(c.detector(ProcessId{leaf}).is_suspected(ProcessId{0}));
+    // And (unavoidably) the other leaves as well.
+    EXPECT_TRUE(c.detector(ProcessId{leaf})
+                    .is_suspected(ProcessId{leaf == 1 ? 2u : 1u}));
+  }
+}
+
+TEST(AdaptiveEdge, MarginZeroIsHairTrigger) {
+  // alpha = 0: any delay beyond the learned mean causes suspicion. With
+  // exponential jitter this must produce false suspicions — the knob's
+  // lower extreme, complementing E7's sweep.
+  using Cluster = runtime::BaselineCluster<AdaptiveDetector, AdaptiveConfig,
+                                           HeartbeatMessage>;
+  Cluster c(3, net::Topology::full(3),
+            std::make_unique<net::ExponentialDelay>(from_millis(1),
+                                                    from_millis(20)),
+            7, [](ProcessId self) {
+              AdaptiveConfig cfg;
+              cfg.self = self;
+              cfg.n = 3;
+              cfg.period = from_millis(100);
+              cfg.safety_margin = Duration::zero();
+              cfg.initial_delay = from_millis(self.value);
+              return cfg;
+            });
+  c.start();
+  c.run_for(from_seconds(10));
+  metrics::Analysis a(c.log(), 3, from_seconds(10));
+  EXPECT_GT(a.false_suspicions().size(), 0u);
+}
+
+}  // namespace
+}  // namespace mmrfd::baselines

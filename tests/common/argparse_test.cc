@@ -1,0 +1,83 @@
+#include "common/argparse.h"
+
+#include <gtest/gtest.h>
+
+namespace mmrfd {
+namespace {
+
+ArgParser make_parser() {
+  ArgParser p("test");
+  p.flag("n", "10", "system size")
+      .flag("rate", "1.5", "a rate")
+      .flag("verbose", "false", "chatty")
+      .flag("name", "abc", "a string");
+  return p;
+}
+
+TEST(ArgParser, DefaultsApply) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(p.get_int("n"), 10);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 1.5);
+  EXPECT_FALSE(p.get_bool("verbose"));
+  EXPECT_EQ(p.get("name"), "abc");
+}
+
+TEST(ArgParser, EqualsForm) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--n=25", "--rate=0.25"};
+  ASSERT_TRUE(p.parse(3, argv));
+  EXPECT_EQ(p.get_int("n"), 25);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 0.25);
+}
+
+TEST(ArgParser, SpaceForm) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--n", "7", "--name", "xyz"};
+  ASSERT_TRUE(p.parse(5, argv));
+  EXPECT_EQ(p.get_int("n"), 7);
+  EXPECT_EQ(p.get("name"), "xyz");
+}
+
+TEST(ArgParser, BareBooleanFlag) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--verbose"};
+  ASSERT_TRUE(p.parse(2, argv));
+  EXPECT_TRUE(p.get_bool("verbose"));
+}
+
+TEST(ArgParser, UnknownFlagRejected) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, PositionalRejected) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  auto p = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+}
+
+TEST(ArgParser, UnregisteredGetThrows) {
+  auto p = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_THROW((void)p.get("missing"), std::invalid_argument);
+}
+
+TEST(ArgParser, UsageListsFlags) {
+  auto p = make_parser();
+  const auto u = p.usage();
+  EXPECT_NE(u.find("--n"), std::string::npos);
+  EXPECT_NE(u.find("system size"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mmrfd

@@ -1,0 +1,129 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mmrfd {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(12345);
+  SplitMix64 b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 a(99);
+  Xoshiro256 b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(11);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, NextBelowCoversAllResidues) {
+  Xoshiro256 rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256, UniformWithinRange) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(5.0, 9.0);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 9.0);
+  }
+}
+
+TEST(Xoshiro256, ExponentialMeanApproximatelyCorrect) {
+  Xoshiro256 rng(23);
+  double sum = 0.0;
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.exponential(3.0);
+  EXPECT_NEAR(sum / kSamples, 3.0, 0.05);
+}
+
+TEST(Xoshiro256, ExponentialNonNegative) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Xoshiro256, NormalMomentsApproximatelyCorrect) {
+  Xoshiro256 rng(31);
+  const int kSamples = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Xoshiro256, LogNormalMedianApproximatelyCorrect) {
+  Xoshiro256 rng(37);
+  std::vector<double> xs;
+  for (int i = 0; i < 100001; ++i) xs.push_back(rng.lognormal(4.0, 0.8));
+  std::nth_element(xs.begin(), xs.begin() + 50000, xs.end());
+  EXPECT_NEAR(xs[50000], 4.0, 0.15);
+}
+
+TEST(Xoshiro256, BoundedParetoWithinBounds) {
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.bounded_pareto(1.0, 1.5, 50.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 50.0);
+  }
+}
+
+TEST(Xoshiro256, BernoulliFrequency) {
+  Xoshiro256 rng(43);
+  int hits = 0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(DeriveSeed, DistinctStreamsAndIndexes) {
+  const auto a = derive_seed(42, "alpha");
+  const auto b = derive_seed(42, "beta");
+  const auto c = derive_seed(42, "alpha", 1);
+  const auto d = derive_seed(43, "alpha");
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(a, derive_seed(42, "alpha"));
+}
+
+}  // namespace
+}  // namespace mmrfd

@@ -1,0 +1,204 @@
+// White-box tests of ConsensusProcess: each phase's send/receive behaviour,
+// driven through a scripted transport with no network at all.
+#include "consensus/chandra_toueg.h"
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+namespace mmrfd::consensus {
+namespace {
+
+/// Records everything the process sends.
+class ScriptedTransport final : public ConsensusTransport {
+ public:
+  struct Sent {
+    bool broadcast{false};
+    ProcessId to;  // valid when !broadcast
+    ConsensusMessage msg;
+  };
+  std::vector<Sent> sent;
+
+  void send(ProcessId to, ConsensusMessage msg) override {
+    sent.push_back({false, to, std::move(msg)});
+  }
+  void broadcast(const ConsensusMessage& msg) override {
+    sent.push_back({true, kNoProcess, msg});
+  }
+
+  /// Sent messages of type M, optionally filtered by unicast target.
+  template <typename M>
+  std::vector<M> of_type() const {
+    std::vector<M> out;
+    for (const auto& s : sent) {
+      if (const auto* m = std::get_if<M>(&s.msg)) out.push_back(*m);
+    }
+    return out;
+  }
+};
+
+class ScriptedFd final : public core::FailureDetector {
+ public:
+  std::vector<ProcessId> susp;
+  std::vector<ProcessId> suspected() const override { return susp; }
+  bool is_suspected(ProcessId id) const override {
+    return std::find(susp.begin(), susp.end(), id) != susp.end();
+  }
+};
+
+struct Fixture {
+  sim::Simulation sim;
+  ScriptedTransport transport;
+  ScriptedFd fd;
+  std::unique_ptr<ConsensusProcess> proc;
+
+  Fixture(std::uint32_t self, std::uint32_t n, std::uint32_t offset = 0) {
+    ConsensusConfig cfg;
+    cfg.self = ProcessId{self};
+    cfg.n = n;
+    cfg.coordinator_offset = offset;
+    proc = std::make_unique<ConsensusProcess>(sim, transport, cfg, fd);
+  }
+};
+
+TEST(ConsensusUnit, ProposeSendsEstimateToRound1Coordinator) {
+  Fixture f(/*self=*/2, /*n=*/5);
+  f.proc->propose(42);
+  const auto estimates = f.transport.of_type<EstimateMessage>();
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_EQ(estimates[0].round, 1u);
+  EXPECT_EQ(estimates[0].value, 42u);
+  EXPECT_EQ(estimates[0].ts, 0u);
+  ASSERT_FALSE(f.transport.sent.empty());
+  EXPECT_EQ(f.transport.sent[0].to, ProcessId{0});  // coordinator of round 1
+}
+
+TEST(ConsensusUnit, CoordinatorOffsetRotatesRound1Coordinator) {
+  Fixture f(/*self=*/2, /*n=*/5, /*offset=*/3);
+  f.proc->propose(42);
+  ASSERT_FALSE(f.transport.sent.empty());
+  EXPECT_EQ(f.transport.sent[0].to, ProcessId{3});
+}
+
+TEST(ConsensusUnit, CoordinatorProposesHighestTsEstimate) {
+  // p0 is round-1 coordinator of a 5-process run; majority = 3 estimates.
+  Fixture f(/*self=*/0, /*n=*/5);
+  f.proc->propose(10);  // own estimate ts 0 (counts as one of the three)
+  f.proc->deliver(ProcessId{1}, EstimateMessage{1, 77, 5});   // locked later
+  EXPECT_TRUE(f.transport.of_type<ProposalMessage>().empty());
+  f.proc->deliver(ProcessId{2}, EstimateMessage{1, 20, 2});
+  const auto proposals = f.transport.of_type<ProposalMessage>();
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_EQ(proposals[0].round, 1u);
+  EXPECT_EQ(proposals[0].value, 77u);  // the ts-5 estimate wins
+}
+
+TEST(ConsensusUnit, ParticipantAcksProposalAndAdvances) {
+  Fixture f(/*self=*/2, /*n=*/5);
+  f.proc->propose(42);
+  f.transport.sent.clear();
+  f.proc->deliver(ProcessId{0}, ProposalMessage{1, 99});
+  const auto acks = f.transport.of_type<AckMessage>();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_TRUE(acks[0].ack);
+  EXPECT_EQ(acks[0].round, 1u);
+  // Advanced to round 2: a fresh estimate goes to p1, carrying the adopted
+  // value with ts = 1 (the lock).
+  const auto estimates = f.transport.of_type<EstimateMessage>();
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_EQ(estimates[0].round, 2u);
+  EXPECT_EQ(estimates[0].value, 99u);
+  EXPECT_EQ(estimates[0].ts, 1u);
+  EXPECT_EQ(f.proc->round(), 2u);
+}
+
+TEST(ConsensusUnit, SuspicionOfCoordinatorNacksAndAdvances) {
+  Fixture f(/*self=*/2, /*n=*/5);
+  f.proc->propose(42);
+  f.transport.sent.clear();
+  f.fd.susp = {ProcessId{0}};
+  f.sim.run_for(from_millis(50));  // the FD poll notices
+  const auto acks = f.transport.of_type<AckMessage>();
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_FALSE(acks[0].ack);
+  EXPECT_EQ(f.proc->round(), 2u);
+  // Estimate for round 2 keeps the original value (nothing adopted).
+  const auto estimates = f.transport.of_type<EstimateMessage>();
+  ASSERT_EQ(estimates.size(), 1u);
+  EXPECT_EQ(estimates[0].value, 42u);
+  EXPECT_EQ(estimates[0].ts, 0u);
+}
+
+TEST(ConsensusUnit, CoordinatorDecidesOnMajorityAcks) {
+  Fixture f(/*self=*/0, /*n=*/5);
+  f.proc->propose(10);
+  f.proc->deliver(ProcessId{1}, EstimateMessage{1, 10, 0});
+  f.proc->deliver(ProcessId{2}, EstimateMessage{1, 10, 0});
+  // Proposal broadcast; own ack is internal. Two remote acks = majority 3.
+  f.proc->deliver(ProcessId{1}, AckMessage{1, true});
+  EXPECT_FALSE(f.proc->decided());
+  f.proc->deliver(ProcessId{2}, AckMessage{1, true});
+  ASSERT_TRUE(f.proc->decided());
+  EXPECT_EQ(f.proc->decision(), 10u);
+  // DECIDE was broadcast (at least once; the decide() echo re-broadcasts).
+  EXPECT_FALSE(f.transport.of_type<DecideMessage>().empty());
+}
+
+TEST(ConsensusUnit, NackMajorityMovesCoordinatorOn) {
+  Fixture f(/*self=*/0, /*n=*/5);
+  f.proc->propose(10);
+  f.proc->deliver(ProcessId{1}, EstimateMessage{1, 10, 0});
+  f.proc->deliver(ProcessId{2}, EstimateMessage{1, 10, 0});
+  f.proc->deliver(ProcessId{1}, AckMessage{1, false});
+  f.proc->deliver(ProcessId{2}, AckMessage{1, false});
+  EXPECT_FALSE(f.proc->decided());
+  EXPECT_EQ(f.proc->round(), 2u);  // gave up on round 1
+}
+
+TEST(ConsensusUnit, DecideMessageShortCircuits) {
+  Fixture f(/*self=*/3, /*n=*/5);
+  f.proc->propose(42);
+  f.proc->deliver(ProcessId{4}, DecideMessage{123});
+  ASSERT_TRUE(f.proc->decided());
+  EXPECT_EQ(f.proc->decision(), 123u);
+  // Reliable-broadcast echo.
+  EXPECT_EQ(f.transport.of_type<DecideMessage>().size(), 1u);
+  // Further messages are ignored.
+  f.proc->deliver(ProcessId{0}, ProposalMessage{1, 7});
+  EXPECT_EQ(f.proc->decision(), 123u);
+}
+
+TEST(ConsensusUnit, MessagesBeforeProposeAreBuffered) {
+  Fixture f(/*self=*/0, /*n=*/5);
+  // Estimates arrive before this process proposes (it lags behind peers).
+  f.proc->deliver(ProcessId{1}, EstimateMessage{1, 50, 0});
+  f.proc->deliver(ProcessId{2}, EstimateMessage{1, 50, 0});
+  EXPECT_TRUE(f.transport.of_type<ProposalMessage>().empty());
+  f.proc->propose(10);  // own estimate completes the majority
+  const auto proposals = f.transport.of_type<ProposalMessage>();
+  ASSERT_EQ(proposals.size(), 1u);
+  EXPECT_EQ(proposals[0].value, 50u);  // ts tie: first-max wins (p1's)
+}
+
+TEST(ConsensusUnit, CrashStopsAllActivity) {
+  Fixture f(/*self=*/2, /*n=*/5);
+  f.proc->propose(42);
+  f.proc->crash();
+  f.transport.sent.clear();
+  f.proc->deliver(ProcessId{0}, ProposalMessage{1, 99});
+  f.sim.run_for(from_millis(100));
+  EXPECT_TRUE(f.transport.sent.empty());
+  EXPECT_FALSE(f.proc->decided());
+}
+
+TEST(ConsensusUnit, DecidedAtTimestampRecorded) {
+  Fixture f(/*self=*/3, /*n=*/5);
+  f.proc->propose(42);
+  f.sim.run_for(from_millis(30));
+  f.proc->deliver(ProcessId{4}, DecideMessage{1});
+  ASSERT_TRUE(f.proc->decided_at().has_value());
+  EXPECT_EQ(*f.proc->decided_at(), from_millis(30));
+}
+
+}  // namespace
+}  // namespace mmrfd::consensus

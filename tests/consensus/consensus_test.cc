@@ -1,0 +1,168 @@
+// Consensus tests: safety (validity, agreement) must hold on every seed and
+// every detector quality; termination needs a <>S-quality detector.
+#include "consensus/chandra_toueg.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/harness.h"
+
+namespace mmrfd::consensus {
+namespace {
+
+std::vector<Value> iota_proposals(std::uint32_t n) {
+  std::vector<Value> out;
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(100 + i);
+  return out;
+}
+
+HarnessConfig base(std::uint32_t n, std::uint32_t f, FdKind fd,
+                   std::uint64_t seed) {
+  HarnessConfig c;
+  c.n = n;
+  c.f = f;
+  c.fd = fd;
+  c.seed = seed;
+  return c;
+}
+
+TEST(Consensus, FailureFreePerfectFdDecidesRoundOne) {
+  ConsensusHarness h(base(5, 2, FdKind::kPerfect, 1));
+  h.start(iota_proposals(5));
+  ASSERT_TRUE(h.run_until_decided(from_seconds(10)));
+  const auto v = h.agreed_value();
+  ASSERT_TRUE(v.has_value());
+  // Round 1's coordinator is p0; with max-ts tie it picks some proposal.
+  EXPECT_GE(*v, 100u);
+  EXPECT_LE(*v, 104u);
+  // The decision happens in round 1; participants may already have stepped
+  // into round 2's wait while the DECIDE broadcast was in flight.
+  EXPECT_LE(h.max_round(), 2u);
+}
+
+TEST(Consensus, ValidityDecidedValueWasProposed) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    ConsensusHarness h(base(5, 2, FdKind::kMmr, seed));
+    h.start(iota_proposals(5));
+    ASSERT_TRUE(h.run_until_decided(from_seconds(30))) << "seed " << seed;
+    const auto v = h.agreed_value();
+    ASSERT_TRUE(v.has_value()) << "seed " << seed;
+    EXPECT_GE(*v, 100u);
+    EXPECT_LE(*v, 104u);
+  }
+}
+
+TEST(Consensus, AgreementWithMmrFdAndCrashes) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto cfg = base(7, 3, FdKind::kMmr, seed);
+    ConsensusHarness h(cfg);
+    // Crash f processes (never p0: the engineered MP witness keeps the FD
+    // accurate; crashing it is legal but slows termination).
+    const auto plan = runtime::CrashPlan::uniform(
+        3, 7, from_millis(20), from_seconds(2), seed,
+        std::vector<ProcessId>{ProcessId{0}});
+    h.start(iota_proposals(7), plan);
+    ASSERT_TRUE(h.run_until_decided(from_seconds(60))) << "seed " << seed;
+    EXPECT_TRUE(h.agreed_value().has_value()) << "seed " << seed;
+  }
+}
+
+TEST(Consensus, CoordinatorCrashForcesLaterRound) {
+  // p0 (round-1 coordinator) crashes immediately: decision needs round >= 2.
+  auto cfg = base(5, 1, FdKind::kPerfect, 3);
+  ConsensusHarness h(cfg);
+  runtime::CrashPlan plan;
+  plan.entries.push_back({ProcessId{0}, from_millis(1)});
+  h.start(iota_proposals(5), plan);
+  ASSERT_TRUE(h.run_until_decided(from_seconds(10)));
+  EXPECT_TRUE(h.agreed_value().has_value());
+  EXPECT_GE(h.max_round(), 2u);
+}
+
+TEST(Consensus, TerminatesWithHeartbeatFd) {
+  ConsensusHarness h(base(5, 2, FdKind::kHeartbeat, 4));
+  runtime::CrashPlan plan;
+  plan.entries.push_back({ProcessId{1}, from_millis(10)});
+  h.start(iota_proposals(5), plan);
+  ASSERT_TRUE(h.run_until_decided(from_seconds(30)));
+  EXPECT_TRUE(h.agreed_value().has_value());
+}
+
+TEST(Consensus, TerminatesWithPhiAccrualFd) {
+  ConsensusHarness h(base(5, 2, FdKind::kPhiAccrual, 5));
+  h.start(iota_proposals(5));
+  ASSERT_TRUE(h.run_until_decided(from_seconds(30)));
+  EXPECT_TRUE(h.agreed_value().has_value());
+}
+
+TEST(Consensus, SafetyHoldsEvenWithWildlyWrongTimeouts) {
+  // A pathologically tight heartbeat timeout produces constant false
+  // suspicions. Termination may take many rounds — but any decisions made
+  // must still agree (the FD can delay consensus, never corrupt it).
+  auto cfg = base(5, 2, FdKind::kHeartbeat, 6);
+  cfg.hb_timeout = from_millis(8);  // ~ mean one-way delay: mostly expired
+  cfg.mean_delay = from_millis(5);
+  ConsensusHarness h(cfg);
+  h.start(iota_proposals(5));
+  (void)h.run_until_decided(from_seconds(20));
+  std::optional<Value> seen;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const auto& p = h.process(ProcessId{i});
+    if (!p.decided()) continue;
+    if (seen) {
+      EXPECT_EQ(*seen, p.decision());
+    }
+    seen = p.decision();
+    EXPECT_GE(p.decision(), 100u);
+    EXPECT_LE(p.decision(), 104u);
+  }
+}
+
+TEST(Consensus, AllSameProposalDecidesThatValue) {
+  ConsensusHarness h(base(5, 2, FdKind::kMmr, 7));
+  const std::vector<Value> proposals(5, 42);
+  h.start(proposals);
+  ASSERT_TRUE(h.run_until_decided(from_seconds(30)));
+  const auto v = h.agreed_value();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42u);
+}
+
+TEST(Consensus, DecisionTimesRecorded) {
+  ConsensusHarness h(base(5, 2, FdKind::kPerfect, 8));
+  h.start(iota_proposals(5));
+  ASSERT_TRUE(h.run_until_decided(from_seconds(10)));
+  const auto t = h.last_decision_at();
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GT(*t, kTimeZero);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(h.process(ProcessId{i}).decided_at().has_value());
+  }
+}
+
+TEST(Consensus, ParameterizedSeedsNeverViolateAgreement) {
+  // Property sweep across seeds and detector kinds.
+  for (FdKind kind : {FdKind::kPerfect, FdKind::kMmr, FdKind::kHeartbeat}) {
+    for (std::uint64_t seed = 10; seed < 16; ++seed) {
+      auto cfg = base(5, 2, kind, seed);
+      ConsensusHarness h(cfg);
+      const auto plan = runtime::CrashPlan::uniform(
+          1, 5, from_millis(10), from_seconds(1), seed,
+          std::vector<ProcessId>{ProcessId{0}});
+      h.start(iota_proposals(5), plan);
+      (void)h.run_until_decided(from_seconds(30));
+      std::optional<Value> seen;
+      for (std::uint32_t i = 0; i < 5; ++i) {
+        const auto& p = h.process(ProcessId{i});
+        if (!p.decided()) continue;
+        if (seen) {
+          EXPECT_EQ(*seen, p.decision())
+              << fd_kind_name(kind) << " seed " << seed;
+        }
+        seen = p.decision();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmrfd::consensus

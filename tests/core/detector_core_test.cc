@@ -1,0 +1,439 @@
+// Unit tests for DetectorCore: each test drives the sans-I/O state machine
+// by hand through the exact line-level behaviours of the paper's algorithm.
+#include "core/detector_core.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace mmrfd::core {
+namespace {
+
+DetectorConfig cfg(std::uint32_t self, std::uint32_t n, std::uint32_t f) {
+  DetectorConfig c;
+  c.self = ProcessId{self};
+  c.n = n;
+  c.f = f;
+  return c;
+}
+
+TEST(DetectorCore, InitialState) {
+  DetectorCore d(cfg(0, 5, 1));
+  EXPECT_EQ(d.counter(), 0u);
+  EXPECT_TRUE(d.suspected().empty());
+  EXPECT_TRUE(d.mistake_set().empty());
+  EXPECT_EQ(d.known().size(), 4u);  // Pi \ {self}
+  EXPECT_FALSE(d.query_in_progress());
+}
+
+TEST(DetectorCore, QuorumIsNMinusF) {
+  EXPECT_EQ(cfg(0, 10, 3).quorum(), 7u);
+  EXPECT_EQ(cfg(0, 4, 1).quorum(), 3u);
+}
+
+TEST(DetectorCore, QuorumClampedToN) {
+  auto c = cfg(0, 4, 1);
+  c.extra_quorum = 10;
+  EXPECT_EQ(c.quorum(), 4u);
+}
+
+TEST(DetectorCore, StartQueryCarriesCurrentSets) {
+  DetectorCore d(cfg(0, 4, 1));
+  // Seed some state through a received query.
+  QueryMessage in;
+  in.seq = 1;
+  in.suspected = {{ProcessId{2}, 5}};
+  in.mistakes = {{ProcessId{3}, 4}};
+  (void)d.on_query(ProcessId{1}, in);
+  const QueryMessage out = d.start_query();
+  EXPECT_EQ(out.seq, 1u);
+  ASSERT_EQ(out.suspected.size(), 1u);
+  EXPECT_EQ(out.suspected[0], (TaggedEntry{ProcessId{2}, 5}));
+  ASSERT_EQ(out.mistakes.size(), 1u);
+  EXPECT_EQ(out.mistakes[0], (TaggedEntry{ProcessId{3}, 4}));
+}
+
+TEST(DetectorCore, SelfResponseCountsTowardQuorum) {
+  // n=4, f=1 -> quorum 3: self + 2 remote responses terminate the query.
+  DetectorCore d(cfg(0, 4, 1));
+  const auto q = d.start_query();
+  EXPECT_FALSE(d.query_terminated());
+  EXPECT_FALSE(d.on_response(ProcessId{1}, ResponseMessage{q.seq}));
+  EXPECT_TRUE(d.on_response(ProcessId{2}, ResponseMessage{q.seq}));
+  EXPECT_TRUE(d.query_terminated());
+}
+
+TEST(DetectorCore, TerminationReportedExactlyOnce) {
+  DetectorCore d(cfg(0, 4, 1));
+  const auto q = d.start_query();
+  (void)d.on_response(ProcessId{1}, ResponseMessage{q.seq});
+  EXPECT_TRUE(d.on_response(ProcessId{2}, ResponseMessage{q.seq}));
+  EXPECT_FALSE(d.on_response(ProcessId{3}, ResponseMessage{q.seq}));
+}
+
+TEST(DetectorCore, DuplicateResponsesIgnored) {
+  DetectorCore d(cfg(0, 4, 1));
+  const auto q = d.start_query();
+  EXPECT_FALSE(d.on_response(ProcessId{1}, ResponseMessage{q.seq}));
+  EXPECT_FALSE(d.on_response(ProcessId{1}, ResponseMessage{q.seq}));
+  EXPECT_EQ(d.rec_from().size(), 2u);  // self + p1
+}
+
+TEST(DetectorCore, StaleResponsesIgnored) {
+  DetectorCore d(cfg(0, 4, 1));
+  const auto q1 = d.start_query();
+  (void)d.on_response(ProcessId{1}, ResponseMessage{q1.seq});
+  (void)d.on_response(ProcessId{2}, ResponseMessage{q1.seq});
+  d.finish_round();
+  const auto q2 = d.start_query();
+  EXPECT_NE(q1.seq, q2.seq);
+  EXPECT_FALSE(d.on_response(ProcessId{3}, ResponseMessage{q1.seq}));
+  EXPECT_EQ(d.rec_from().size(), 1u);  // self only
+}
+
+TEST(DetectorCore, FinishRoundSuspectsNonResponders) {
+  DetectorCore d(cfg(0, 5, 2));  // quorum 3
+  const auto q = d.start_query();
+  (void)d.on_response(ProcessId{1}, ResponseMessage{q.seq});
+  (void)d.on_response(ProcessId{2}, ResponseMessage{q.seq});
+  d.finish_round();
+  const auto suspects = d.suspected();
+  ASSERT_EQ(suspects.size(), 2u);
+  EXPECT_EQ(suspects[0], ProcessId{3});
+  EXPECT_EQ(suspects[1], ProcessId{4});
+  // Tagged with the pre-increment counter value 0; counter then advanced.
+  EXPECT_EQ(d.suspected_set().tag_of(ProcessId{3}), 0u);
+  EXPECT_EQ(d.counter(), 1u);
+}
+
+TEST(DetectorCore, LateResponseJoinsRecFromBeforeFinish) {
+  DetectorCore d(cfg(0, 5, 2));
+  const auto q = d.start_query();
+  (void)d.on_response(ProcessId{1}, ResponseMessage{q.seq});
+  (void)d.on_response(ProcessId{2}, ResponseMessage{q.seq});  // terminates
+  // p3's late response arrives during the pacing window.
+  (void)d.on_response(ProcessId{3}, ResponseMessage{q.seq});
+  d.finish_round();
+  const auto suspects = d.suspected();
+  ASSERT_EQ(suspects.size(), 1u);
+  EXPECT_EQ(suspects[0], ProcessId{4});
+}
+
+TEST(DetectorCore, LateResponsesRejectedWhenDisabled) {
+  auto c = cfg(0, 5, 2);
+  c.accept_late_responses = false;
+  DetectorCore d(c);
+  const auto q = d.start_query();
+  (void)d.on_response(ProcessId{1}, ResponseMessage{q.seq});
+  (void)d.on_response(ProcessId{2}, ResponseMessage{q.seq});
+  (void)d.on_response(ProcessId{3}, ResponseMessage{q.seq});  // dropped
+  d.finish_round();
+  EXPECT_EQ(d.suspected().size(), 2u);
+}
+
+TEST(DetectorCore, WinningSetIsFirstQuorumOnly) {
+  DetectorCore d(cfg(0, 5, 2));
+  const auto q = d.start_query();
+  (void)d.on_response(ProcessId{3}, ResponseMessage{q.seq});
+  (void)d.on_response(ProcessId{1}, ResponseMessage{q.seq});
+  (void)d.on_response(ProcessId{2}, ResponseMessage{q.seq});  // late
+  const auto w = d.winning();
+  ASSERT_EQ(w.size(), 3u);  // self, p3, p1 — sorted
+  EXPECT_TRUE(std::binary_search(w.begin(), w.end(), ProcessId{0}));
+  EXPECT_TRUE(std::binary_search(w.begin(), w.end(), ProcessId{1}));
+  EXPECT_TRUE(std::binary_search(w.begin(), w.end(), ProcessId{3}));
+  EXPECT_EQ(d.rec_from().size(), 4u);
+}
+
+TEST(DetectorCore, AlreadySuspectedNotReTagged) {
+  DetectorCore d(cfg(0, 4, 1));
+  auto round = [&] {
+    const auto q = d.start_query();
+    (void)d.on_response(ProcessId{1}, ResponseMessage{q.seq});
+    (void)d.on_response(ProcessId{2}, ResponseMessage{q.seq});
+    d.finish_round();
+  };
+  round();  // p3 suspected with tag 0
+  round();  // p3 still absent, but already suspected: tag unchanged
+  EXPECT_EQ(d.suspected_set().tag_of(ProcessId{3}), 0u);
+  EXPECT_EQ(d.counter(), 2u);
+}
+
+// --- T2 merge semantics ------------------------------------------------------
+
+TEST(DetectorCore, MergeAdoptsUnknownSuspicion) {
+  DetectorCore d(cfg(0, 5, 1));
+  QueryMessage q;
+  q.seq = 1;
+  q.suspected = {{ProcessId{2}, 7}};
+  const auto r = d.on_query(ProcessId{1}, q);
+  EXPECT_EQ(r.seq, 1u);
+  EXPECT_TRUE(d.is_suspected(ProcessId{2}));
+  EXPECT_EQ(d.suspected_set().tag_of(ProcessId{2}), 7u);
+}
+
+TEST(DetectorCore, MergeIgnoresOlderSuspicion) {
+  DetectorCore d(cfg(0, 5, 1));
+  QueryMessage newer;
+  newer.seq = 1;
+  newer.suspected = {{ProcessId{2}, 7}};
+  (void)d.on_query(ProcessId{1}, newer);
+  QueryMessage older;
+  older.seq = 2;
+  older.suspected = {{ProcessId{2}, 3}};
+  (void)d.on_query(ProcessId{3}, older);
+  EXPECT_EQ(d.suspected_set().tag_of(ProcessId{2}), 7u);
+}
+
+TEST(DetectorCore, MergeIgnoresEqualTagSuspicion) {
+  // Line 22 uses strict <: an equal-tag suspicion is not "more recent".
+  DetectorCore d(cfg(0, 5, 1));
+  QueryMessage q;
+  q.seq = 1;
+  q.suspected = {{ProcessId{2}, 7}};
+  (void)d.on_query(ProcessId{1}, q);
+  QueryMessage q2;
+  q2.seq = 1;
+  q2.mistakes = {{ProcessId{2}, 7}};
+  (void)d.on_query(ProcessId{3}, q2);  // mistake with equal tag WINS (<=)
+  EXPECT_FALSE(d.is_suspected(ProcessId{2}));
+  QueryMessage q3;
+  q3.seq = 2;
+  q3.suspected = {{ProcessId{2}, 7}};
+  (void)d.on_query(ProcessId{1}, q3);  // suspicion with equal tag loses
+  EXPECT_FALSE(d.is_suspected(ProcessId{2}));
+  EXPECT_TRUE(d.mistake_set().contains(ProcessId{2}));
+}
+
+TEST(DetectorCore, MistakeTieBreakFavorsMistake) {
+  // The <= in line 33 vs < in line 22: with identical tags, the mistake
+  // overrides the suspicion but not vice versa.
+  DetectorCore d(cfg(0, 5, 1));
+  QueryMessage susp;
+  susp.seq = 1;
+  susp.suspected = {{ProcessId{3}, 4}};
+  (void)d.on_query(ProcessId{1}, susp);
+  EXPECT_TRUE(d.is_suspected(ProcessId{3}));
+  QueryMessage mist;
+  mist.seq = 1;
+  mist.mistakes = {{ProcessId{3}, 4}};
+  (void)d.on_query(ProcessId{2}, mist);
+  EXPECT_FALSE(d.is_suspected(ProcessId{3}));
+  EXPECT_EQ(d.mistake_set().tag_of(ProcessId{3}), 4u);
+}
+
+TEST(DetectorCore, NewerSuspicionOverridesMistake) {
+  DetectorCore d(cfg(0, 5, 1));
+  QueryMessage mist;
+  mist.seq = 1;
+  mist.mistakes = {{ProcessId{3}, 4}};
+  (void)d.on_query(ProcessId{1}, mist);
+  QueryMessage susp;
+  susp.seq = 1;
+  susp.suspected = {{ProcessId{3}, 5}};
+  (void)d.on_query(ProcessId{2}, susp);
+  EXPECT_TRUE(d.is_suspected(ProcessId{3}));
+  EXPECT_FALSE(d.mistake_set().contains(ProcessId{3}));
+}
+
+TEST(DetectorCore, SelfDefenceGeneratesDominatingMistake) {
+  // Lines 23-25: receiving a suspicion about *myself* produces a mistake
+  // with tag strictly above the suspicion's.
+  DetectorCore d(cfg(0, 5, 1));
+  QueryMessage q;
+  q.seq = 1;
+  q.suspected = {{ProcessId{0}, 9}};
+  (void)d.on_query(ProcessId{1}, q);
+  EXPECT_FALSE(d.is_suspected(ProcessId{0}));
+  ASSERT_TRUE(d.mistake_set().contains(ProcessId{0}));
+  EXPECT_EQ(d.mistake_set().tag_of(ProcessId{0}), 10u);
+  EXPECT_GE(d.counter(), 10u);
+  // The mistake rides the next query.
+  const auto out = d.start_query();
+  ASSERT_EQ(out.mistakes.size(), 1u);
+  EXPECT_EQ(out.mistakes[0], (TaggedEntry{ProcessId{0}, 10}));
+}
+
+TEST(DetectorCore, SelfDefenceIgnoredWhenOwnMistakeNewer) {
+  DetectorCore d(cfg(0, 5, 1));
+  QueryMessage q;
+  q.seq = 1;
+  q.suspected = {{ProcessId{0}, 9}};
+  (void)d.on_query(ProcessId{1}, q);  // mistake tag 10
+  QueryMessage stale;
+  stale.seq = 1;
+  stale.suspected = {{ProcessId{0}, 6}};
+  (void)d.on_query(ProcessId{2}, stale);
+  EXPECT_EQ(d.mistake_set().tag_of(ProcessId{0}), 10u);
+}
+
+TEST(DetectorCore, FreshSuspicionDominatesLocalMistake) {
+  // T1 lines 10-12: when a process with a recorded mistake stops responding,
+  // the new suspicion's tag jumps above the mistake's.
+  DetectorCore d(cfg(0, 4, 1));
+  QueryMessage mist;
+  mist.seq = 1;
+  mist.mistakes = {{ProcessId{3}, 41}};
+  (void)d.on_query(ProcessId{1}, mist);
+  const auto q = d.start_query();
+  (void)d.on_response(ProcessId{1}, ResponseMessage{q.seq});
+  (void)d.on_response(ProcessId{2}, ResponseMessage{q.seq});
+  d.finish_round();  // p3 did not respond
+  EXPECT_TRUE(d.is_suspected(ProcessId{3}));
+  EXPECT_EQ(d.suspected_set().tag_of(ProcessId{3}), 42u);
+  EXPECT_FALSE(d.mistake_set().contains(ProcessId{3}));
+  EXPECT_EQ(d.counter(), 43u);
+}
+
+TEST(DetectorCore, CounterNeverDecreases) {
+  DetectorCore d(cfg(0, 4, 1));
+  Tag last = d.counter();
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 200; ++i) {
+    if (rng.bernoulli(0.5)) {
+      QueryMessage q;
+      q.seq = static_cast<QuerySeq>(i);
+      if (rng.bernoulli(0.5)) {
+        q.suspected = {{ProcessId{static_cast<std::uint32_t>(
+                            rng.next_below(4))},
+                        rng.next_below(100)}};
+      } else {
+        q.mistakes = {{ProcessId{static_cast<std::uint32_t>(
+                           rng.next_below(4))},
+                       rng.next_below(100)}};
+      }
+      (void)d.on_query(ProcessId{1}, q);
+    } else {
+      const auto q = d.start_query();
+      (void)d.on_response(ProcessId{1}, ResponseMessage{q.seq});
+      (void)d.on_response(ProcessId{2}, ResponseMessage{q.seq});
+      d.finish_round();
+    }
+    EXPECT_GE(d.counter(), last);
+    last = d.counter();
+  }
+}
+
+TEST(DetectorCore, SuspectedAndMistakeSetsDisjointUnderRandomMerges) {
+  // Protocol invariant: a process is never simultaneously suspected and
+  // excused. Fuzz the merge paths.
+  DetectorCore d(cfg(0, 8, 2));
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    QueryMessage q;
+    q.seq = static_cast<QuerySeq>(i);
+    const int n_entries = static_cast<int>(rng.next_below(4));
+    for (int k = 0; k < n_entries; ++k) {
+      const TaggedEntry e{
+          ProcessId{static_cast<std::uint32_t>(rng.next_below(8))},
+          rng.next_below(50)};
+      if (rng.bernoulli(0.5)) {
+        q.suspected.push_back(e);
+      } else {
+        q.mistakes.push_back(e);
+      }
+    }
+    const auto from =
+        ProcessId{static_cast<std::uint32_t>(1 + rng.next_below(7))};
+    (void)d.on_query(from, q);
+    for (const auto& e : d.suspected_set().entries()) {
+      EXPECT_FALSE(d.mistake_set().contains(e.id));
+      EXPECT_NE(e.id, ProcessId{0});  // never suspects itself
+    }
+  }
+}
+
+TEST(DetectorCore, ObserverSeesTransitions) {
+  struct Recorder : SuspicionObserver {
+    std::vector<std::pair<char, std::uint32_t>> events;
+    void on_suspected(ProcessId s, Tag) override {
+      events.emplace_back('S', s.value);
+    }
+    void on_cleared(ProcessId s, Tag) override {
+      events.emplace_back('C', s.value);
+    }
+    void on_mistake(ProcessId s, Tag) override {
+      events.emplace_back('M', s.value);
+    }
+  } rec;
+  DetectorCore d(cfg(0, 4, 1));
+  d.set_observer(&rec);
+  QueryMessage susp;
+  susp.seq = 1;
+  susp.suspected = {{ProcessId{2}, 3}};
+  (void)d.on_query(ProcessId{1}, susp);
+  QueryMessage mist;
+  mist.seq = 1;
+  mist.mistakes = {{ProcessId{2}, 5}};
+  (void)d.on_query(ProcessId{1}, mist);
+  ASSERT_EQ(rec.events.size(), 3u);
+  EXPECT_EQ(rec.events[0], std::make_pair('S', 2u));
+  EXPECT_EQ(rec.events[1], std::make_pair('C', 2u));
+  EXPECT_EQ(rec.events[2], std::make_pair('M', 2u));
+}
+
+TEST(DetectorCore, TwoCoreConversationConverges) {
+  // Manual two-node exchange: p1 suspected p0 (tag 9); after one query from
+  // p0 and one from p1, both agree p0 is alive (mistake tag 10).
+  DetectorCore d0(cfg(0, 2, 1));
+  DetectorCore d1(cfg(1, 2, 1));
+  // p1 believes p0 is suspect.
+  QueryMessage seed;
+  seed.seq = 99;
+  seed.suspected = {{ProcessId{0}, 9}};
+  (void)d1.on_query(ProcessId{0}, seed);  // from a hypothetical third party
+  // p1 queries p0.
+  const auto q1 = d1.start_query();
+  const auto r0 = d0.on_query(ProcessId{1}, q1);  // p0 defends itself
+  (void)d1.on_response(ProcessId{0}, ResponseMessage{r0.seq});
+  EXPECT_TRUE(d0.mistake_set().contains(ProcessId{0}));
+  // p0's next query carries the mistake; p1 adopts it.
+  const auto q0 = d0.start_query();
+  (void)d1.on_query(ProcessId{0}, q0);
+  EXPECT_FALSE(d1.is_suspected(ProcessId{0}));
+  EXPECT_EQ(d1.mistake_set().tag_of(ProcessId{0}), 10u);
+}
+
+TEST(DetectorCore, RoundsCompletedCounts) {
+  DetectorCore d(cfg(0, 2, 1));  // quorum 1: self-terminating queries
+  EXPECT_EQ(d.rounds_completed(), 0u);
+  for (int i = 0; i < 3; ++i) {
+    (void)d.start_query();
+    ASSERT_TRUE(d.query_terminated());
+    d.finish_round();
+  }
+  EXPECT_EQ(d.rounds_completed(), 3u);
+}
+
+TEST(DetectorCore, PaperFigureOneScenario) {
+  // The paper's illustration (adapted to full connectivity): B suspects A
+  // with counter 5, C suspects A with counter 10; when the information meets,
+  // the counter-10 entry wins everywhere.
+  DetectorCore b(cfg(1, 5, 1));
+  DetectorCore c(cfg(2, 5, 1));
+  DetectorCore dnode(cfg(3, 5, 1));
+  QueryMessage fromB;
+  fromB.seq = 1;
+  fromB.suspected = {{ProcessId{0}, 5}};
+  QueryMessage fromC;
+  fromC.seq = 1;
+  fromC.suspected = {{ProcessId{0}, 10}};
+  // D hears B first, then C: upgrades 5 -> 10.
+  (void)dnode.on_query(ProcessId{1}, fromB);
+  EXPECT_EQ(dnode.suspected_set().tag_of(ProcessId{0}), 5u);
+  (void)dnode.on_query(ProcessId{2}, fromC);
+  EXPECT_EQ(dnode.suspected_set().tag_of(ProcessId{0}), 10u);
+  // B holds the counter-5 entry, C the counter-10 entry.
+  (void)b.on_query(ProcessId{4}, fromB);
+  (void)c.on_query(ProcessId{4}, fromC);
+  // B upgrades from C's info; C discards B's older info.
+  (void)b.on_query(ProcessId{2}, fromC);
+  EXPECT_EQ(b.suspected_set().tag_of(ProcessId{0}), 10u);
+  (void)c.on_query(ProcessId{1}, fromB);
+  EXPECT_EQ(c.suspected_set().tag_of(ProcessId{0}), 10u);
+}
+
+}  // namespace
+}  // namespace mmrfd::core

@@ -1,0 +1,62 @@
+#include "core/omega.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mmrfd::core {
+namespace {
+
+class FakeFd final : public FailureDetector {
+ public:
+  std::set<std::uint32_t> susp;
+  std::vector<ProcessId> suspected() const override {
+    std::vector<ProcessId> out;
+    for (auto v : susp) out.push_back(ProcessId{v});
+    return out;
+  }
+  bool is_suspected(ProcessId id) const override {
+    return susp.count(id.value) > 0;
+  }
+};
+
+TEST(Omega, LeaderIsSmallestUnsuspected) {
+  FakeFd fd;
+  EXPECT_EQ(extract_leader(fd, 5), ProcessId{0});
+  fd.susp = {0};
+  EXPECT_EQ(extract_leader(fd, 5), ProcessId{1});
+  fd.susp = {0, 1, 2};
+  EXPECT_EQ(extract_leader(fd, 5), ProcessId{3});
+}
+
+TEST(Omega, AllSuspectedYieldsNoProcess) {
+  FakeFd fd;
+  fd.susp = {0, 1, 2};
+  EXPECT_EQ(extract_leader(fd, 3), kNoProcess);
+}
+
+TEST(OmegaView, CountsChanges) {
+  FakeFd fd;
+  OmegaView view(fd, 4);
+  EXPECT_EQ(view.poll(), ProcessId{0});
+  EXPECT_EQ(view.changes(), 1u);  // kNoProcess -> p0
+  EXPECT_EQ(view.poll(), ProcessId{0});
+  EXPECT_EQ(view.changes(), 1u);  // stable
+  fd.susp = {0};
+  EXPECT_EQ(view.poll(), ProcessId{1});
+  EXPECT_EQ(view.changes(), 2u);
+  fd.susp = {};
+  EXPECT_EQ(view.poll(), ProcessId{0});
+  EXPECT_EQ(view.changes(), 3u);
+}
+
+TEST(OmegaView, CurrentReflectsLastPoll) {
+  FakeFd fd;
+  OmegaView view(fd, 2);
+  EXPECT_EQ(view.current(), kNoProcess);
+  view.poll();
+  EXPECT_EQ(view.current(), ProcessId{0});
+}
+
+}  // namespace
+}  // namespace mmrfd::core

@@ -1,0 +1,139 @@
+#include "metrics/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/analysis.h"
+#include "runtime/cluster.h"
+
+namespace mmrfd::metrics {
+namespace {
+
+runtime::MmrCluster make_run() {
+  runtime::MmrClusterConfig cfg;
+  cfg.n = 5;
+  cfg.f = 1;
+  cfg.seed = 3;
+  cfg.pacing = from_millis(100);
+  return runtime::MmrCluster(cfg);
+}
+
+TEST(Export, EventsCsvHasHeaderAndRows) {
+  auto cluster = make_run();
+  runtime::CrashPlan plan;
+  plan.entries.push_back({ProcessId{2}, from_seconds(1)});
+  cluster.start(plan);
+  cluster.run_for(from_seconds(5));
+  std::ostringstream os;
+  export_events_csv(cluster.log(), os);
+  const auto text = os.str();
+  EXPECT_EQ(text.rfind("when_s,observer,subject,kind,tag\n", 0), 0u);
+  EXPECT_NE(text.find(",suspected,"), std::string::npos);
+  // One CSV line per event plus header.
+  const auto lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines),
+            cluster.log().events().size() + 1);
+}
+
+TEST(Export, CrashesCsv) {
+  auto cluster = make_run();
+  runtime::CrashPlan plan;
+  plan.entries.push_back({ProcessId{2}, from_seconds(1)});
+  cluster.start(plan);
+  cluster.run_for(from_seconds(3));
+  std::ostringstream os;
+  export_crashes_csv(cluster.log(), os);
+  EXPECT_EQ(os.str(), "subject,when_s\n2,1\n");
+}
+
+TEST(Export, QueriesCsvListsWinningSets) {
+  auto cluster = make_run();
+  cluster.start();
+  cluster.run_for(from_seconds(2));
+  std::ostringstream os;
+  export_queries_csv(cluster.recorder(), os);
+  const auto text = os.str();
+  EXPECT_EQ(text.rfind("issuer,seq,terminated_s,winning\n", 0), 0u);
+  const auto lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines),
+            cluster.recorder().records().size() + 1);
+  // Winning sets are ';'-joined: quorum 4 -> three separators on some row.
+  EXPECT_NE(text.find(';'), std::string::npos);
+}
+
+TEST(Export, JsonlIsOneObjectPerLine) {
+  auto cluster = make_run();
+  runtime::CrashPlan plan;
+  plan.entries.push_back({ProcessId{1}, from_seconds(1)});
+  cluster.start(plan);
+  cluster.run_for(from_seconds(4));
+  std::ostringstream os;
+  export_jsonl(cluster.log(), &cluster.recorder(), os);
+  const auto text = os.str();
+  std::istringstream in(text);
+  std::string line;
+  std::size_t objects = 0;
+  bool saw_crash = false;
+  bool saw_query = false;
+  bool saw_susp = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++objects;
+    if (line.find("\"type\":\"crash\"") != std::string::npos) saw_crash = true;
+    if (line.find("\"type\":\"query\"") != std::string::npos) saw_query = true;
+    if (line.find("\"type\":\"suspicion\"") != std::string::npos) {
+      saw_susp = true;
+    }
+  }
+  EXPECT_EQ(objects, cluster.log().events().size() +
+                         cluster.log().crashes().size() +
+                         cluster.recorder().records().size());
+  EXPECT_TRUE(saw_crash);
+  EXPECT_TRUE(saw_query);
+  EXPECT_TRUE(saw_susp);
+}
+
+TEST(ArbitraryPacing, JitteredRunsRemainCorrect) {
+  // The paper's "finite but arbitrary" inter-query time: with 90% jitter,
+  // completeness and accuracy still hold.
+  runtime::MmrClusterConfig cfg;
+  cfg.n = 8;
+  cfg.f = 2;
+  cfg.seed = 5;
+  cfg.pacing = from_millis(100);
+  cfg.pacing_jitter = 0.9;
+  runtime::MmrCluster cluster(cfg);
+  runtime::CrashPlan plan;
+  plan.entries.push_back({ProcessId{4}, from_seconds(2)});
+  cluster.start(plan);
+  cluster.run_for(from_seconds(20));
+  Analysis analysis(cluster.log(), 8, from_seconds(20));
+  EXPECT_TRUE(analysis.strong_completeness());
+}
+
+TEST(ArbitraryPacing, JitterChangesScheduleButNotDeterminism) {
+  auto rounds_digest = [](double jitter) {
+    runtime::MmrClusterConfig cfg;
+    cfg.n = 4;
+    cfg.f = 1;
+    cfg.seed = 9;
+    cfg.pacing = from_millis(100);
+    cfg.pacing_jitter = jitter;
+    runtime::MmrCluster cluster(cfg);
+    cluster.start();
+    cluster.run_for(from_seconds(5));
+    std::ostringstream os;
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      os << cluster.host(ProcessId{i}).detector().rounds_completed() << ',';
+    }
+    return os.str();
+  };
+  EXPECT_EQ(rounds_digest(0.5), rounds_digest(0.5));  // deterministic
+  EXPECT_NE(rounds_digest(0.0), rounds_digest(0.5));  // jitter has effect
+}
+
+}  // namespace
+}  // namespace mmrfd::metrics

@@ -1,0 +1,129 @@
+#include "net/delay_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace mmrfd::net {
+namespace {
+
+constexpr ProcessId kA{0};
+constexpr ProcessId kB{1};
+
+TEST(ConstantDelay, AlwaysSame) {
+  ConstantDelay m(from_millis(3));
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(m.sample(kA, kB, kTimeZero, rng), from_millis(3));
+  }
+}
+
+TEST(UniformDelay, WithinBounds) {
+  UniformDelay m(from_millis(1), from_millis(5));
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const auto d = m.sample(kA, kB, kTimeZero, rng);
+    EXPECT_GE(d, from_millis(1));
+    EXPECT_LT(d, from_millis(5));
+  }
+}
+
+TEST(ExponentialDelay, RespectsBaseAndMean) {
+  ExponentialDelay m(from_millis(2), from_millis(4));
+  Xoshiro256 rng(3);
+  mmrfd::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    const auto d = m.sample(kA, kB, kTimeZero, rng);
+    EXPECT_GE(d, from_millis(2));
+    stats.add(to_seconds(d));
+  }
+  EXPECT_NEAR(stats.mean(), 0.006, 0.0002);  // 2ms base + 4ms mean extra
+}
+
+TEST(LogNormalDelay, AboveBase) {
+  LogNormalDelay m(from_millis(1), from_millis(2), 0.8);
+  Xoshiro256 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(m.sample(kA, kB, kTimeZero, rng), from_millis(1));
+  }
+}
+
+TEST(ParetoDelay, BoundedAboveByCap) {
+  ParetoDelay m(from_millis(1), from_millis(1), 1.5, from_millis(100));
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const auto d = m.sample(kA, kB, kTimeZero, rng);
+    EXPECT_GE(d, from_millis(2));             // base + x_min
+    EXPECT_LE(d, from_millis(101));           // base + cap
+  }
+}
+
+TEST(FastSetDelay, ScalesOnlyFastSenders) {
+  auto inner = std::make_unique<ConstantDelay>(from_millis(10));
+  FastSetDelay m(std::move(inner), {kA}, 0.1);
+  Xoshiro256 rng(6);
+  EXPECT_EQ(m.sample(kA, kB, kTimeZero, rng), from_millis(1));
+  EXPECT_EQ(m.sample(kB, kA, kTimeZero, rng), from_millis(10));
+}
+
+TEST(FastSetDelay, BothDirectionsScalesEitherEndpoint) {
+  auto inner = std::make_unique<ConstantDelay>(from_millis(10));
+  FastSetDelay m(std::move(inner), {kA}, 0.1,
+                 FastSetDelay::Scope::kBothDirections);
+  Xoshiro256 rng(6);
+  EXPECT_EQ(m.sample(kA, kB, kTimeZero, rng), from_millis(1));
+  EXPECT_EQ(m.sample(kB, kA, kTimeZero, rng), from_millis(1));
+  const ProcessId c{2};
+  EXPECT_EQ(m.sample(kB, c, kTimeZero, rng), from_millis(10));
+}
+
+TEST(SpikeDelay, AppliesOnlyDuringWindow) {
+  auto inner = std::make_unique<ConstantDelay>(from_millis(2));
+  SpikeDelay m(std::move(inner), from_millis(100), from_millis(200), 5.0);
+  Xoshiro256 rng(7);
+  EXPECT_EQ(m.sample(kA, kB, from_millis(50), rng), from_millis(2));
+  EXPECT_EQ(m.sample(kA, kB, from_millis(150), rng), from_millis(10));
+  EXPECT_EQ(m.sample(kA, kB, from_millis(200), rng), from_millis(2));
+}
+
+TEST(SpikeDelay, AffectedSetFilters) {
+  auto inner = std::make_unique<ConstantDelay>(from_millis(2));
+  SpikeDelay m(std::move(inner), kTimeZero, from_millis(100), 5.0, {kA});
+  Xoshiro256 rng(8);
+  EXPECT_EQ(m.sample(kA, kB, from_millis(50), rng), from_millis(10));
+  EXPECT_EQ(m.sample(kB, kA, from_millis(50), rng), from_millis(10));
+  const ProcessId c{2};
+  EXPECT_EQ(m.sample(kB, c, from_millis(50), rng), from_millis(2));
+}
+
+TEST(Presets, AllProduceNonNegativeRoughlyMeanDelays) {
+  Xoshiro256 rng(9);
+  for (auto preset :
+       {DelayPreset::kConstant, DelayPreset::kUniform,
+        DelayPreset::kExponential, DelayPreset::kLogNormal,
+        DelayPreset::kPareto}) {
+    auto m = make_preset(preset, from_millis(10));
+    mmrfd::RunningStats stats;
+    for (int i = 0; i < 50000; ++i) {
+      const auto d = m->sample(kA, kB, kTimeZero, rng);
+      ASSERT_GT(d, Duration::zero()) << preset_name(preset);
+      stats.add(to_seconds(d));
+    }
+    // All presets target a ~10 ms mean; heavy tails get wide slack.
+    EXPECT_GT(stats.mean(), 0.005) << preset_name(preset);
+    EXPECT_LT(stats.mean(), 0.03) << preset_name(preset);
+  }
+}
+
+TEST(Presets, ParseRoundTrips) {
+  for (auto preset :
+       {DelayPreset::kConstant, DelayPreset::kUniform,
+        DelayPreset::kExponential, DelayPreset::kLogNormal,
+        DelayPreset::kPareto}) {
+    EXPECT_EQ(parse_preset(preset_name(preset)), preset);
+  }
+  EXPECT_THROW(parse_preset("bogus"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mmrfd::net

@@ -1,0 +1,147 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "sim/simulation.h"
+
+namespace mmrfd::net {
+namespace {
+
+using Msg = std::variant<int, std::string>;
+using TestNetwork = Network<Msg>;
+
+struct Fixture {
+  sim::Simulation sim;
+  TestNetwork net;
+
+  explicit Fixture(std::size_t n, std::unique_ptr<DelayModel> delays =
+                                      std::make_unique<ConstantDelay>(
+                                          from_millis(1)))
+      : net(sim, Topology::full(n), std::move(delays), /*seed=*/1) {}
+};
+
+TEST(Network, DeliversAfterDelay) {
+  Fixture f(2);
+  std::optional<int> got;
+  TimePoint at{};
+  f.net.set_handler(ProcessId{1}, [&](ProcessId from, const Msg& m) {
+    EXPECT_EQ(from, ProcessId{0});
+    got = std::get<int>(m);
+    at = f.sim.now();
+  });
+  f.net.send(ProcessId{0}, ProcessId{1}, Msg{7});
+  f.sim.run_all();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7);
+  EXPECT_EQ(at, from_millis(1));
+}
+
+TEST(Network, BroadcastReachesAllButSender) {
+  Fixture f(5);
+  int deliveries = 0;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    f.net.set_handler(ProcessId{i},
+                      [&](ProcessId, const Msg&) { ++deliveries; });
+  }
+  f.net.broadcast(ProcessId{2}, Msg{1});
+  f.sim.run_all();
+  EXPECT_EQ(deliveries, 4);
+  EXPECT_EQ(f.net.stats().messages_sent, 4u);
+  EXPECT_EQ(f.net.stats().messages_delivered, 4u);
+}
+
+TEST(Network, CrashedReceiverDropsDelivery) {
+  Fixture f(2);
+  bool delivered = false;
+  f.net.set_handler(ProcessId{1},
+                    [&](ProcessId, const Msg&) { delivered = true; });
+  f.net.send(ProcessId{0}, ProcessId{1}, Msg{1});
+  f.net.crash(ProcessId{1});  // crash while the message is in flight
+  f.sim.run_all();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(f.net.stats().messages_dropped_crash, 1u);
+}
+
+TEST(Network, LossRateDropsApproximately) {
+  Fixture f(2);
+  int delivered = 0;
+  f.net.set_handler(ProcessId{1}, [&](ProcessId, const Msg&) { ++delivered; });
+  f.net.set_loss_rate(0.5);
+  for (int i = 0; i < 2000; ++i) {
+    f.net.send(ProcessId{0}, ProcessId{1}, Msg{i});
+  }
+  f.sim.run_all();
+  EXPECT_GT(delivered, 800);
+  EXPECT_LT(delivered, 1200);
+  EXPECT_EQ(delivered + static_cast<int>(f.net.stats().messages_dropped_loss),
+            2000);
+}
+
+TEST(Network, SizeFnAccumulatesBytes) {
+  Fixture f(2);
+  f.net.set_handler(ProcessId{1}, [](ProcessId, const Msg&) {});
+  f.net.set_size_fn([](const Msg&) { return std::size_t{10}; });
+  f.net.send(ProcessId{0}, ProcessId{1}, Msg{1});
+  f.net.send(ProcessId{0}, ProcessId{1}, Msg{2});
+  EXPECT_EQ(f.net.stats().bytes_sent, 20u);
+}
+
+TEST(Network, VariantAlternativesBothDeliver) {
+  Fixture f(2);
+  int ints = 0;
+  int strings = 0;
+  f.net.set_handler(ProcessId{1}, [&](ProcessId, const Msg& m) {
+    if (std::holds_alternative<int>(m)) {
+      ++ints;
+    } else {
+      ++strings;
+    }
+  });
+  f.net.send(ProcessId{0}, ProcessId{1}, Msg{1});
+  f.net.send(ProcessId{0}, ProcessId{1}, Msg{std::string("hi")});
+  f.sim.run_all();
+  EXPECT_EQ(ints, 1);
+  EXPECT_EQ(strings, 1);
+}
+
+TEST(Network, RandomDelaysAreDeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulation sim;
+    TestNetwork net(sim, Topology::full(2),
+                    std::make_unique<ExponentialDelay>(from_millis(1),
+                                                       from_millis(5)),
+                    seed);
+    std::vector<TimePoint> arrivals;
+    net.set_handler(ProcessId{1}, [&](ProcessId, const Msg&) {
+      arrivals.push_back(sim.now());
+    });
+    for (int i = 0; i < 20; ++i) net.send(ProcessId{0}, ProcessId{1}, Msg{i});
+    sim.run_all();
+    return arrivals;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(Network, SparseTopologyRestrictsBroadcast) {
+  sim::Simulation sim;
+  TestNetwork net(sim, Topology::ring(5),
+                  std::make_unique<ConstantDelay>(from_millis(1)), 1);
+  std::vector<std::uint32_t> receivers;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    net.set_handler(ProcessId{i},
+                    [&receivers, i](ProcessId, const Msg&) {
+                      receivers.push_back(i);
+                    });
+  }
+  net.broadcast(ProcessId{0}, Msg{1});
+  sim.run_all();
+  std::sort(receivers.begin(), receivers.end());
+  EXPECT_EQ(receivers, (std::vector<std::uint32_t>{1, 4}));
+}
+
+}  // namespace
+}  // namespace mmrfd::net

@@ -1,0 +1,229 @@
+// Integration tests: the full asynchronous detector running in simulated
+// clusters — the <>S properties end to end.
+#include "runtime/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "core/properties.h"
+#include "metrics/analysis.h"
+
+namespace mmrfd::runtime {
+namespace {
+
+MmrClusterConfig base_config(std::uint32_t n, std::uint32_t f,
+                             std::uint64_t seed) {
+  MmrClusterConfig c;
+  c.n = n;
+  c.f = f;
+  c.seed = seed;
+  c.pacing = from_millis(100);
+  c.mean_delay = from_millis(1);
+  return c;
+}
+
+TEST(MmrCluster, AllHostsIssueRounds) {
+  MmrCluster cluster(base_config(8, 2, 1));
+  cluster.start();
+  cluster.run_for(from_seconds(5));
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_GT(cluster.host(ProcessId{i}).detector().rounds_completed(), 20u)
+        << "host " << i;
+  }
+}
+
+TEST(MmrCluster, NoSuspicionsWithoutCrashesUnderConstantDelays) {
+  auto cfg = base_config(10, 3, 2);
+  cfg.delay_preset = net::DelayPreset::kConstant;
+  MmrCluster cluster(cfg);
+  cluster.start();
+  cluster.run_for(from_seconds(10));
+  EXPECT_TRUE(cluster.log().events().empty());
+}
+
+TEST(MmrCluster, CrashEventuallySuspectedByAllCorrect) {
+  // Strong completeness on a single crash.
+  auto cfg = base_config(10, 3, 3);
+  MmrCluster cluster(cfg);
+  CrashPlan plan;
+  plan.entries.push_back({ProcessId{4}, from_seconds(2)});
+  cluster.start(plan);
+  cluster.run_for(from_seconds(20));
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    if (i == 4) continue;
+    EXPECT_TRUE(cluster.host(ProcessId{i}).detector().is_suspected(
+        ProcessId{4}))
+        << "observer " << i;
+  }
+}
+
+TEST(MmrCluster, StrongCompletenessWithFCrashes) {
+  auto cfg = base_config(12, 4, 4);
+  MmrCluster cluster(cfg);
+  const auto plan = CrashPlan::uniform(4, 12, from_seconds(2),
+                                       from_seconds(8), cfg.seed);
+  cluster.start(plan);
+  cluster.run_for(from_seconds(30));
+  metrics::Analysis analysis(cluster.log(), 12, from_seconds(30));
+  EXPECT_TRUE(analysis.strong_completeness());
+  EXPECT_EQ(analysis.faulty().size(), 4u);
+}
+
+TEST(MmrCluster, CrashedProcessNeverUnsuspectedAgain) {
+  auto cfg = base_config(8, 2, 5);
+  MmrCluster cluster(cfg);
+  CrashPlan plan;
+  plan.entries.push_back({ProcessId{1}, from_seconds(1)});
+  cluster.start(plan);
+  cluster.run_for(from_seconds(20));
+  // Once every correct process suspects p1, no Cleared event for p1 may
+  // follow the last Suspected event (permanence).
+  const auto detections =
+      metrics::Analysis(cluster.log(), 8, from_seconds(20)).detections();
+  for (const auto& d : detections) {
+    ASSERT_TRUE(d.detected_at.has_value())
+        << "observer " << d.observer.value << " never settled";
+  }
+}
+
+TEST(MmrCluster, FastSetYieldsEventualAccuracy) {
+  // Engineer MP: p0 is fast toward everyone. Use a heavy-tailed delay model
+  // so accuracy is non-trivial, then verify the checker agrees MP held and
+  // that suspicion of the witness stops.
+  auto cfg = base_config(8, 2, 6);
+  cfg.delay_preset = net::DelayPreset::kPareto;
+  cfg.mean_delay = from_millis(5);
+  cfg.fast_set = {ProcessId{0}};
+  cfg.fast_factor = 0.05;
+  MmrCluster cluster(cfg);
+  cluster.start();
+  cluster.run_for(from_seconds(60));
+  std::vector<ProcessId> correct;
+  for (std::uint32_t i = 0; i < 8; ++i) correct.push_back(ProcessId{i});
+  core::MpChecker checker(cluster.recorder(), cfg.f, correct);
+  const auto verdict = checker.check();
+  ASSERT_TRUE(verdict.holds);
+  EXPECT_EQ(verdict.witness, ProcessId{0});
+  // No correct process should, at the end, still suspect p0.
+  for (std::uint32_t i = 1; i < 8; ++i) {
+    EXPECT_FALSE(
+        cluster.host(ProcessId{i}).detector().is_suspected(ProcessId{0}));
+  }
+}
+
+TEST(MmrCluster, DeterministicGivenSeed) {
+  auto run_digest = [](std::uint64_t seed) {
+    auto cfg = base_config(8, 2, seed);
+    cfg.delay_preset = net::DelayPreset::kExponential;
+    MmrCluster cluster(cfg);
+    const auto plan =
+        CrashPlan::uniform(2, 8, from_seconds(1), from_seconds(5), seed);
+    cluster.start(plan);
+    cluster.run_for(from_seconds(15));
+    std::ostringstream os;
+    for (const auto& e : cluster.log().events()) {
+      os << e.when.count() << ':' << e.observer.value << ':'
+         << e.subject.value << ':' << static_cast<int>(e.kind) << ';';
+    }
+    os << '#' << cluster.network().stats().messages_sent;
+    return os.str();
+  };
+  EXPECT_EQ(run_digest(77), run_digest(77));
+  EXPECT_NE(run_digest(77), run_digest(78));
+}
+
+TEST(MmrCluster, SpikeCausesFalseSuspicionsThatAreRepaired) {
+  auto cfg = base_config(8, 2, 8);
+  cfg.delay_preset = net::DelayPreset::kConstant;
+  // p7's links slow down 200x for 3 seconds: long enough that its responses
+  // miss the quorum window of several rounds.
+  SpikeSpec spike;
+  spike.start = from_seconds(5);
+  spike.end = from_seconds(8);
+  spike.factor = 200.0;
+  spike.affected = {ProcessId{7}};
+  cfg.spike = spike;
+  MmrCluster cluster(cfg);
+  cluster.start();
+  cluster.run_for(from_seconds(30));
+  metrics::Analysis analysis(cluster.log(), 8, from_seconds(30));
+  const auto fs = analysis.false_suspicions();
+  ASSERT_FALSE(fs.empty());  // the spike produced wrongful suspicions...
+  for (const auto& f : fs) {
+    EXPECT_EQ(f.subject, ProcessId{7});
+    EXPECT_TRUE(f.cleared_at.has_value())  // ...and every one was repaired
+        << f.observer.value << " never cleared " << f.subject.value;
+  }
+  const auto stable = analysis.accuracy_stabilization();
+  ASSERT_TRUE(stable.has_value());
+}
+
+TEST(MmrCluster, LateResponseAcceptanceReducesFalseSuspicions) {
+  auto run = [](bool accept_late) {
+    auto cfg = base_config(8, 2, 9);
+    cfg.delay_preset = net::DelayPreset::kPareto;
+    cfg.mean_delay = from_millis(20);
+    cfg.pacing = from_millis(200);
+    cfg.accept_late_responses = accept_late;
+    MmrCluster cluster(cfg);
+    cluster.start();
+    cluster.run_for(from_seconds(30));
+    return metrics::Analysis(cluster.log(), 8, from_seconds(30))
+        .false_suspicions()
+        .size();
+  };
+  EXPECT_LE(run(true), run(false));
+}
+
+TEST(MmrCluster, AliveListShrinksOnCrash) {
+  MmrCluster cluster(base_config(5, 1, 10));
+  CrashPlan plan;
+  plan.entries.push_back({ProcessId{2}, from_seconds(1)});
+  cluster.start(plan);
+  EXPECT_EQ(cluster.alive().size(), 5u);
+  cluster.run_for(from_seconds(2));
+  EXPECT_EQ(cluster.alive().size(), 4u);
+  EXPECT_TRUE(cluster.host(ProcessId{2}).crashed());
+}
+
+TEST(MmrCluster, QueriesKeepTerminatingWithUpToFCrashes) {
+  // Liveness of the query mechanism itself: with exactly f crashes the
+  // remaining n - f processes still form a quorum.
+  auto cfg = base_config(6, 2, 11);
+  MmrCluster cluster(cfg);
+  const auto plan = CrashPlan::simultaneous(
+      std::vector<ProcessId>{ProcessId{0}, ProcessId{1}}, from_seconds(2));
+  cluster.start(plan);
+  cluster.run_for(from_seconds(10));
+  const auto rounds_mid =
+      cluster.host(ProcessId{5}).detector().rounds_completed();
+  cluster.run_for(from_seconds(10));
+  EXPECT_GT(cluster.host(ProcessId{5}).detector().rounds_completed(),
+            rounds_mid);
+}
+
+TEST(CrashPlan, UniformRespectsProtectAndCount) {
+  const std::vector<ProcessId> protect{ProcessId{0}, ProcessId{1}};
+  const auto plan = CrashPlan::uniform(3, 10, from_seconds(1), from_seconds(9),
+                                       123, protect);
+  EXPECT_EQ(plan.entries.size(), 3u);
+  for (const auto& e : plan.entries) {
+    EXPECT_GE(e.victim.value, 2u);
+    EXPECT_GE(e.when, from_seconds(1));
+    EXPECT_LT(e.when, from_seconds(9));
+  }
+  const auto victims = plan.victims();
+  EXPECT_EQ(std::set<ProcessId>(victims.begin(), victims.end()).size(), 3u);
+}
+
+TEST(CrashPlan, SimultaneousAndContains) {
+  const std::vector<ProcessId> vs{ProcessId{3}, ProcessId{4}};
+  const auto plan = CrashPlan::simultaneous(vs, from_seconds(2));
+  EXPECT_TRUE(plan.crashes(ProcessId{3}));
+  EXPECT_FALSE(plan.crashes(ProcessId{5}));
+}
+
+}  // namespace
+}  // namespace mmrfd::runtime

@@ -1,0 +1,152 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mmrfd::sim {
+namespace {
+
+TEST(Simulation, StartsAtTimeZero) {
+  Simulation s;
+  EXPECT_EQ(s.now(), kTimeZero);
+}
+
+TEST(Simulation, EventsFireInTimeOrder) {
+  Simulation s;
+  std::vector<int> order;
+  s.schedule(from_millis(30), [&] { order.push_back(3); });
+  s.schedule(from_millis(10), [&] { order.push_back(1); });
+  s.schedule(from_millis(20), [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, EqualTimestampsFireInSchedulingOrder) {
+  // Determinism depends on stable FIFO ordering among ties.
+  Simulation s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(from_millis(5), [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Simulation, NowAdvancesToEventTime) {
+  Simulation s;
+  TimePoint seen{};
+  s.schedule(from_millis(42), [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, from_millis(42));
+  EXPECT_EQ(s.now(), from_millis(42));
+}
+
+TEST(Simulation, RunUntilStopsBeforeLaterEvents) {
+  Simulation s;
+  int fired = 0;
+  s.schedule(from_millis(10), [&] { ++fired; });
+  s.schedule(from_millis(100), [&] { ++fired; });
+  s.run_until(from_millis(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), from_millis(50));  // idle time advances to deadline
+  s.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, RunForComposes) {
+  Simulation s;
+  s.run_for(from_millis(10));
+  s.run_for(from_millis(15));
+  EXPECT_EQ(s.now(), from_millis(25));
+}
+
+TEST(Simulation, EventsCanScheduleEvents) {
+  Simulation s;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) s.schedule(from_millis(1), step);
+  };
+  s.schedule(from_millis(1), step);
+  s.run_all();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(s.now(), from_millis(5));
+}
+
+TEST(Simulation, CancelPreventsFiring) {
+  Simulation s;
+  bool fired = false;
+  const EventId id = s.schedule(from_millis(5), [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, CancelUnknownOrFiredIsNoop) {
+  Simulation s;
+  EXPECT_FALSE(s.cancel(kNoEvent));
+  EXPECT_FALSE(s.cancel(9999));  // never allocated
+  bool fired = false;
+  const EventId id = s.schedule(from_millis(1), [&] { fired = true; });
+  s.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_FALSE(s.cancel(id) && false);  // already fired: cancel returns true
+                                        // only if it was still pending
+}
+
+TEST(Simulation, CancelTwiceSecondIsNoop) {
+  Simulation s;
+  const EventId id = s.schedule(from_millis(5), [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(Simulation, StopHaltsRun) {
+  Simulation s;
+  int fired = 0;
+  s.schedule(from_millis(1), [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule(from_millis(2), [&] { ++fired; });
+  s.run_all();
+  EXPECT_EQ(fired, 1);
+  s.run_all();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, ScheduleAtAbsoluteTime) {
+  Simulation s;
+  TimePoint seen{};
+  s.schedule_at(from_millis(7), [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, from_millis(7));
+}
+
+TEST(Simulation, EventsFiredCounter) {
+  Simulation s;
+  for (int i = 0; i < 5; ++i) s.schedule(from_millis(i), [] {});
+  s.run_all();
+  EXPECT_EQ(s.events_fired(), 5u);
+}
+
+TEST(Simulation, RunAllDoesNotJumpToSentinelTime) {
+  Simulation s;
+  s.schedule(from_millis(3), [] {});
+  s.run_all();
+  EXPECT_EQ(s.now(), from_millis(3));
+}
+
+TEST(Simulation, ZeroDelayFiresAtCurrentTime) {
+  Simulation s;
+  s.schedule(from_millis(5), [] {});
+  s.run_all();
+  bool fired = false;
+  s.schedule(Duration::zero(), [&] { fired = true; });
+  s.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), from_millis(5));
+}
+
+}  // namespace
+}  // namespace mmrfd::sim

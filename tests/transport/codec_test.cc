@@ -1,0 +1,138 @@
+#include "transport/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mmrfd::transport {
+namespace {
+
+core::QueryMessage sample_query() {
+  core::QueryMessage q;
+  q.seq = 0x1122334455667788ULL;
+  q.suspected = {{ProcessId{1}, 7}, {ProcessId{3}, 99}};
+  q.mistakes = {{ProcessId{2}, 50}};
+  return q;
+}
+
+TEST(Codec, QueryRoundTrip) {
+  Encoder e;
+  encode(e, sample_query());
+  const auto bytes = e.take();
+  Decoder d(bytes);
+  const auto out = decode_query(d);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, sample_query());
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(Codec, ResponseRoundTrip) {
+  Encoder e;
+  encode(e, core::ResponseMessage{42});
+  const auto bytes = e.take();
+  Decoder d(bytes);
+  const auto out = decode_response(d);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->seq, 42u);
+}
+
+TEST(Codec, EmptySetsRoundTrip) {
+  core::QueryMessage q;
+  q.seq = 1;
+  Encoder e;
+  encode(e, q);
+  const auto bytes = e.take();
+  Decoder d(bytes);
+  const auto out = decode_query(d);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->suspected.empty());
+  EXPECT_TRUE(out->mistakes.empty());
+}
+
+TEST(Codec, EnvelopeRoundTripQuery) {
+  const auto datagram = encode_envelope(ProcessId{9}, sample_query());
+  const auto out = decode_envelope(datagram);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->sender, ProcessId{9});
+  ASSERT_TRUE(std::holds_alternative<core::QueryMessage>(out->message));
+  EXPECT_EQ(std::get<core::QueryMessage>(out->message), sample_query());
+}
+
+TEST(Codec, EnvelopeRoundTripResponse) {
+  const auto datagram =
+      encode_envelope(ProcessId{2}, core::ResponseMessage{5});
+  const auto out = decode_envelope(datagram);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<core::ResponseMessage>(out->message).seq, 5u);
+}
+
+TEST(Codec, WireSizeMatchesEncodedSize) {
+  const auto q = sample_query();
+  EXPECT_EQ(encode_envelope(ProcessId{0}, q).size(), wire_size(q));
+  const core::ResponseMessage r{1};
+  EXPECT_EQ(encode_envelope(ProcessId{0}, r).size(), wire_size(r));
+}
+
+TEST(Codec, TruncatedInputRejected) {
+  const auto datagram = encode_envelope(ProcessId{0}, sample_query());
+  for (std::size_t cut = 0; cut < datagram.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(datagram.data(), cut);
+    EXPECT_FALSE(decode_envelope(prefix).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Codec, TrailingGarbageRejected) {
+  auto datagram = encode_envelope(ProcessId{0}, core::ResponseMessage{1});
+  datagram.push_back(0xFF);
+  EXPECT_FALSE(decode_envelope(datagram).has_value());
+}
+
+TEST(Codec, UnknownTypeRejected) {
+  std::vector<std::uint8_t> datagram = {0, 0, 0, 0, /*type=*/200, 1, 2, 3};
+  EXPECT_FALSE(decode_envelope(datagram).has_value());
+}
+
+TEST(Codec, LyingLengthPrefixRejected) {
+  Encoder e;
+  e.u32(0);           // sender
+  e.u8(1);            // query
+  e.u64(1);           // seq
+  e.u32(0xFFFFFFFF);  // claims 4 billion suspected entries
+  const auto bytes = e.take();
+  EXPECT_FALSE(decode_envelope(bytes).has_value());
+}
+
+TEST(Codec, FuzzRandomBytesNeverCrash) {
+  Xoshiro256 rng(1234);
+  for (int i = 0; i < 20000; ++i) {
+    std::vector<std::uint8_t> junk(rng.next_below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next_below(256));
+    (void)decode_envelope(junk);  // must not crash / UB; result irrelevant
+  }
+}
+
+TEST(Codec, FuzzRoundTripRandomQueries) {
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 500; ++i) {
+    core::QueryMessage q;
+    q.seq = rng.next();
+    const auto ns = rng.next_below(20);
+    for (std::uint64_t k = 0; k < ns; ++k) {
+      q.suspected.push_back(
+          {ProcessId{static_cast<std::uint32_t>(rng.next_below(1000))},
+           rng.next()});
+    }
+    const auto nm = rng.next_below(20);
+    for (std::uint64_t k = 0; k < nm; ++k) {
+      q.mistakes.push_back(
+          {ProcessId{static_cast<std::uint32_t>(rng.next_below(1000))},
+           rng.next()});
+    }
+    const auto out = decode_envelope(encode_envelope(ProcessId{1}, q));
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(std::get<core::QueryMessage>(out->message), q);
+  }
+}
+
+}  // namespace
+}  // namespace mmrfd::transport
