@@ -7,6 +7,7 @@
 // experiments show the alpha trade-off mirrors the Theta trade-off.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

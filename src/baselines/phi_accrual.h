@@ -11,6 +11,7 @@
 // drops. Heavy-tailed delays (E5) and spikes (E3) expose the difference.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

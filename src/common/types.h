@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <iosfwd>

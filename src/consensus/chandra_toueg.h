@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <utility>
 #include <variant>
 #include <vector>
 

@@ -17,6 +17,7 @@
 //     command submitted by a correct process is eventually decided.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <map>

@@ -29,6 +29,7 @@
 //     pairwise winning-fraction statistics used by experiment E5.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -3,6 +3,7 @@
 // "detection time", "false suspicion", etc.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <vector>

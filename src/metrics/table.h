@@ -3,6 +3,7 @@
 // emission for plotting.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>

@@ -1,6 +1,7 @@
 // Crash schedules: which processes crash, and when.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

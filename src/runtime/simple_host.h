@@ -7,6 +7,8 @@
 // gives a full cluster of them (see runtime::SimpleCluster alias).
 #pragma once
 
+#include <vector>
+
 #include "core/simple_detector.h"
 #include "runtime/baseline_cluster.h"
 #include "runtime/mmr_host.h"

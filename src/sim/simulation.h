@@ -13,6 +13,7 @@
 //     schedule further events.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>

@@ -8,6 +8,7 @@
 // Decoding is total: malformed input yields nullopt, never UB.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>

@@ -5,6 +5,7 @@
 // layer's lossy-link tests (see set_loss_every).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>

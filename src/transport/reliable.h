@@ -19,11 +19,14 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <set>
+#include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "transport/datagram.h"

@@ -4,6 +4,8 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
+#include <span>
 
 #include "transport/datagram.h"
 #include "transport/transport.h"
