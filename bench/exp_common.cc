@@ -43,19 +43,20 @@ RunMetrics summarize(const metrics::EventLog& log, std::uint32_t n,
                      Duration horizon) {
   RunMetrics out;
   metrics::Analysis analysis(log, n, horizon);
-  for (const auto& s : analysis.crash_summaries()) {
+  // One crash_summaries() pass feeds latencies, completeness and the worst
+  // per-crash instant (each call re-derives detections from the log).
+  const auto summaries = analysis.crash_summaries();
+  out.strong_completeness = true;
+  double worst = 0.0;
+  for (const auto& s : summaries) {
     for (double lat : s.latencies.samples()) out.detection_latencies.add(lat);
-  }
-  out.strong_completeness = analysis.strong_completeness();
-  if (out.strong_completeness) {
-    double worst = 0.0;
-    for (const auto& s : analysis.crash_summaries()) {
-      if (s.completeness_latency) {
-        worst = std::max(worst, to_seconds(*s.completeness_latency));
-      }
+    if (s.completeness_latency) {
+      worst = std::max(worst, to_seconds(*s.completeness_latency));
+    } else {
+      out.strong_completeness = false;
     }
-    out.completeness_latency = worst;
   }
+  if (out.strong_completeness) out.completeness_latency = worst;
   const auto fs = analysis.false_suspicions();
   out.false_suspicions = fs.size();
   for (const auto& f : fs) {

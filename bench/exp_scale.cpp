@@ -1,0 +1,244 @@
+// SCALE — large-n stress sweep of the simulation substrate.
+//
+// The DSN'03 evaluation stopped at tens of processes; this driver pushes the
+// same protocol to n = 1000 and beyond, with crash plans and mid-run delay
+// spikes, and reports *simulator* throughput (events/sec of wall clock)
+// alongside the protocol metrics. It is the perf-trajectory anchor: each run
+// appends a machine-readable snapshot to BENCH_scale.json so the
+// events/sec trend across PRs is one `git log -p BENCH_scale.json` away.
+//
+// The n=1000 default sweep exercises ~2 million messages per simulated
+// second (every host broadcasts an n-1-recipient query plus collects n-1
+// responses per pacing period), which is exactly the workload the
+// shared-payload broadcast and the pooled event heap exist for.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/argparse.h"
+#include "exp_common.h"
+#include "metrics/table.h"
+
+using namespace mmrfd;
+using metrics::Table;
+
+namespace {
+
+struct ScaleResult {
+  std::uint32_t n{0};
+  std::uint32_t f{0};
+  std::uint64_t seed{0};
+  double horizon_s{0};
+  double wall_s{0};
+  std::uint64_t events_fired{0};
+  double events_per_sec{0};
+  std::uint64_t messages_sent{0};
+  std::uint64_t bytes_sent{0};
+  std::size_t crashes{0};
+  bool strong_completeness{false};
+  double detection_mean_s{0};
+  double detection_p99_s{0};
+  double detection_max_s{0};
+  std::size_t false_suspicions{0};
+};
+
+ScaleResult run_config(std::uint32_t n, std::uint64_t seed, Duration horizon,
+                       Duration pacing, bool with_spike) {
+  runtime::MmrClusterConfig cfg;
+  cfg.n = n;
+  cfg.f = (n + 3) / 4;
+  cfg.seed = seed;
+  cfg.pacing = pacing;
+  cfg.pacing_jitter = 0.1;  // arbitrary inter-query times, as the model allows
+  cfg.mean_delay = from_millis(1);
+  cfg.delay_preset = net::DelayPreset::kExponential;
+  if (with_spike) {
+    // A transient slowdown on ~1% of the nodes in the back half of the run.
+    // The factor pushes their mean delay (1ms) past the pacing period (1s),
+    // so affected responses miss whole rounds: the sweep exercises false
+    // suspicions and their self-defence repairs at scale, not just the
+    // happy path.
+    runtime::SpikeSpec spike;
+    spike.start = from_seconds(to_seconds(horizon) * 0.65);
+    spike.end = from_seconds(to_seconds(horizon) * 0.75);
+    spike.factor = 2000.0;
+    for (std::uint32_t i = 0; i < std::max<std::uint32_t>(1, n / 100); ++i) {
+      spike.affected.push_back(ProcessId{i});
+    }
+    cfg.spike = spike;
+  }
+  runtime::MmrCluster cluster(cfg);
+  cluster.network().set_size_fn([](const runtime::MmrMessage& m) {
+    return std::visit(
+        [](const auto& msg) { return transport::wire_size(msg); }, m);
+  });
+
+  const std::size_t crashes = cfg.f / 2;
+  const auto plan = runtime::CrashPlan::uniform(
+      crashes, n, from_seconds(to_seconds(horizon) * 0.2),
+      from_seconds(to_seconds(horizon) * 0.6), seed);
+
+  std::cerr << "[exp_scale] n=" << n << " seed=" << seed << " simulating...\n";
+  const auto wall_start = std::chrono::steady_clock::now();
+  cluster.start(plan);
+  cluster.run_for(horizon);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  std::cerr << "[exp_scale]   sim " << wall.count() << "s, "
+            << cluster.simulation().events_fired() << " events, "
+            << cluster.log().events().size() << " log entries; analysing...\n";
+
+  const bench::RunMetrics m = bench::summarize(cluster.log(), n, horizon);
+  std::cerr << "[exp_scale]   analysis "
+            << std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             wall_start)
+                   .count() -
+                   wall.count()
+            << "s\n";
+
+  ScaleResult r;
+  r.n = n;
+  r.f = cfg.f;
+  r.seed = seed;
+  r.horizon_s = to_seconds(horizon);
+  r.wall_s = wall.count();
+  r.events_fired = cluster.simulation().events_fired();
+  r.events_per_sec =
+      wall.count() > 0 ? static_cast<double>(r.events_fired) / wall.count() : 0;
+  r.messages_sent = cluster.network().stats().messages_sent;
+  r.bytes_sent = cluster.network().stats().bytes_sent;
+  r.crashes = crashes;
+  r.strong_completeness = m.strong_completeness;
+  r.detection_mean_s = m.detection_latencies.mean();
+  r.detection_p99_s = m.detection_latencies.percentile(99.0);
+  r.detection_max_s = m.detection_latencies.max();
+  r.false_suspicions = m.false_suspicions;
+  return r;
+}
+
+[[nodiscard]] bool write_json(const std::vector<ScaleResult>& results,
+                              const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "exp_scale: cannot open " << path << " for writing\n";
+    return false;
+  }
+  os << "{\n  \"experiment\": \"exp_scale\",\n  \"unit\": {\"events_per_sec\": "
+        "\"simulator events fired per wall-clock second\"},\n  \"results\": [";
+  bool first = true;
+  for (const auto& r : results) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"n\": " << r.n << ", \"f\": " << r.f
+       << ", \"seed\": " << r.seed << ", \"horizon_s\": " << r.horizon_s
+       << ", \"wall_s\": " << r.wall_s
+       << ", \"events_fired\": " << r.events_fired
+       << ", \"events_per_sec\": " << r.events_per_sec
+       << ", \"messages_sent\": " << r.messages_sent
+       << ", \"bytes_sent\": " << r.bytes_sent
+       << ", \"crashes\": " << r.crashes << ", \"strong_completeness\": "
+       << (r.strong_completeness ? "true" : "false")
+       << ", \"detection_mean_s\": " << r.detection_mean_s
+       << ", \"detection_p99_s\": " << r.detection_p99_s
+       << ", \"detection_max_s\": " << r.detection_max_s
+       << ", \"false_suspicions\": " << r.false_suspicions << "}";
+  }
+  os << "\n  ]\n}\n";
+  os.flush();
+  if (!os) {
+    std::cerr << "exp_scale: short write to " << path << "\n";
+    return false;
+  }
+  std::cout << "\nwrote " << path << "\n";
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("SCALE: large-n simulator stress sweep (events/sec trajectory)");
+  args.flag("sizes", "100,300,1000", "comma-separated n values")
+      .flag("seeds", "1", "seeds per configuration")
+      .flag("horizon", "20", "simulated seconds per run")
+      .flag("period", "1000", "query pacing Delta (ms)")
+      .flag("spike", "true", "inject a mid-run delay spike on ~1% of nodes")
+      .flag("out", "BENCH_scale.json", "JSON output path")
+      .flag("csv", "false", "emit CSV instead of an aligned table");
+  if (!args.parse(argc, argv)) return 0;
+
+  std::vector<std::uint32_t> sizes;
+  {
+    const std::string s = args.get("sizes");
+    for (std::size_t pos = 0; pos < s.size();) {
+      const auto comma = s.find(',', pos);
+      const std::string tok = s.substr(pos, comma - pos);
+      // Digits only: stoul would accept "-5" by wrapping it to a huge
+      // unsigned value, which the < 2 guard below cannot catch.
+      if (tok.empty() ||
+          tok.find_first_not_of("0123456789") != std::string::npos) {
+        std::cerr << "exp_scale: bad --sizes entry '" << tok << "'\n";
+        return 1;
+      }
+      unsigned long value = 0;
+      try {
+        value = std::stoul(tok);
+      } catch (const std::exception&) {  // out-of-range
+        std::cerr << "exp_scale: bad --sizes entry '" << tok << "'\n";
+        return 1;
+      }
+      // n = 1 would make f = (n+3)/4 >= n, which DetectorCore (correctly)
+      // rejects by throwing; the upper bound keeps a typo'd size from
+      // silently truncating through uint32 and allocating a "cluster" of
+      // billions of hosts.
+      if (value < 2 || value > 1000000) {
+        std::cerr << "exp_scale: --sizes entries must be in [2, 1000000] "
+                     "(got " << tok << ")\n";
+        return 1;
+      }
+      sizes.push_back(static_cast<std::uint32_t>(value));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    if (sizes.empty()) {
+      std::cerr << "exp_scale: --sizes must name at least one size\n";
+      return 1;
+    }
+  }
+  const auto horizon =
+      from_seconds(static_cast<double>(args.get_int("horizon")));
+  const auto pacing = from_millis(static_cast<double>(args.get_int("period")));
+
+  std::cout << "# SCALE: simulator stress sweep  (f = n/4, f/2 crashes, "
+            << (args.get_bool("spike") ? "spike on" : "spike off")
+            << ", horizon " << args.get_int("horizon") << "s)\n\n";
+
+  Table table({"n", "f", "seed", "wall_s", "events", "events_per_sec",
+               "msgs_sent", "mean_det_s", "p99_det_s", "complete",
+               "false_susp"});
+  std::vector<ScaleResult> results;
+  for (const std::uint32_t n : sizes) {
+    for (std::uint64_t seed = 1;
+         seed <= static_cast<std::uint64_t>(args.get_int("seeds")); ++seed) {
+      const auto r =
+          run_config(n, seed, horizon, pacing, args.get_bool("spike"));
+      results.push_back(r);
+      table.add_row({Table::num(std::uint64_t{r.n}),
+                     Table::num(std::uint64_t{r.f}), Table::num(r.seed),
+                     Table::num(r.wall_s), Table::num(r.events_fired),
+                     Table::num(r.events_per_sec), Table::num(r.messages_sent),
+                     Table::num(r.detection_mean_s),
+                     Table::num(r.detection_p99_s),
+                     r.strong_completeness ? "yes" : "no",
+                     Table::num(std::uint64_t{r.false_suspicions})});
+    }
+  }
+
+  if (args.get_bool("csv")) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+  return write_json(results, args.get("out")) ? 0 : 1;
+}

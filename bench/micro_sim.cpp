@@ -2,6 +2,10 @@
 // large an experiment the harness can run per wall-clock second.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <memory>
+#include <vector>
+
 #include "common/rng.h"
 #include "net/network.h"
 #include "sim/simulation.h"
@@ -61,6 +65,39 @@ void BM_NetworkDelivery(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_NetworkDelivery)->Arg(256)->Arg(4096);
+
+void BM_Broadcast(benchmark::State& state) {
+  // The per-round hot path at scale: one n-node broadcast of a vector-heavy
+  // message. The shared-payload fan-out copies the message once, not n-1
+  // times, so per-item cost should stay flat as the payload grows.
+  struct FatMsg {
+    std::vector<std::uint64_t> suspected;
+    std::vector<std::uint64_t> mistakes;
+  };
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  sim::Simulation sim;
+  net::Network<FatMsg> network(sim, net::Topology::full(n),
+                               std::make_unique<net::ExponentialDelay>(
+                                   from_millis(1), from_millis(1)),
+                               1);
+  std::uint64_t sink = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    network.set_handler(ProcessId{i}, [&](ProcessId, const FatMsg& m) {
+      sink += m.suspected.size();
+    });
+  }
+  FatMsg msg;
+  msg.suspected.assign(32, 7);
+  msg.mistakes.assign(32, 9);
+  for (auto _ : state) {
+    network.broadcast(ProcessId{0}, msg);
+    sim.run_all();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (n - 1));
+}
+BENCHMARK(BM_Broadcast)->Arg(16)->Arg(100)->Arg(1000);
 
 void BM_RngExponential(benchmark::State& state) {
   Xoshiro256 rng(1);

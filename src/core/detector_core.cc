@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace mmrfd::core {
 
@@ -17,9 +19,21 @@ void insert_sorted(std::vector<ProcessId>& v, ProcessId id) {
 }  // namespace
 
 DetectorCore::DetectorCore(const DetectorConfig& config) : config_(config) {
-  assert(config_.n > 1);
-  assert(config_.f < config_.n);
-  assert(config_.self.value < config_.n);
+  if (config_.n < 1) {
+    throw std::invalid_argument("DetectorConfig: n must be >= 1, got " +
+                                std::to_string(config_.n));
+  }
+  if (config_.f >= config_.n) {
+    throw std::invalid_argument(
+        "DetectorConfig: f must be < n (got f=" + std::to_string(config_.f) +
+        ", n=" + std::to_string(config_.n) + ")");
+  }
+  if (config_.self.value >= config_.n) {
+    throw std::invalid_argument(
+        "DetectorConfig: self must be < n (got self=" +
+        std::to_string(config_.self.value) +
+        ", n=" + std::to_string(config_.n) + ")");
+  }
   // Known membership from the start (the DSN'03 model): every process of Pi
   // except this one is a suspicion candidate.
   known_.reserve(config_.n - 1);
@@ -110,6 +124,13 @@ ResponseMessage DetectorCore::on_query(ProcessId from,
     const auto mine = local_tag(e.id);
     const bool newer_or_tied = !mine.has_value() || *mine <= e.tag;
     if (!newer_or_tied) continue;
+    if (mine.has_value() && *mine == e.tag && mistake_.contains(e.id)) {
+      // Identical entry already present: re-adding changes no state, and
+      // firing on_mistake for it floods the event log — at n = 1000 a
+      // post-spike sweep logged ~200M of these no-op "events" (6+ GB).
+      // Observers now see mistake *transitions*, matching on_suspected.
+      continue;
+    }
     add_mistake(e.id, e.tag);
   }
 

@@ -60,15 +60,21 @@ struct DetectorConfig {
   /// of (n - f). Ablation knob (experiment E7); 0 is the paper's protocol.
   std::uint32_t extra_quorum{0};
 
-  /// Number of responses that terminate a query.
+  /// Number of responses that terminate a query. Requires n >= 1 && f < n
+  /// (DetectorCore rejects anything else at construction), so n - f >= 1
+  /// and no lower clamp is needed; only the ablation knob extra_quorum is
+  /// capped at n (a node cannot wait for more responders than exist).
   [[nodiscard]] std::uint32_t quorum() const {
     const std::uint32_t q = n - f + extra_quorum;
-    return q > n ? n : (q == 0 ? 1 : q);
+    return q > n ? n : q;
   }
 };
 
 class DetectorCore final : public FailureDetector {
  public:
+  /// Throws std::invalid_argument unless n >= 1, f < n and self < n — a
+  /// misconfigured detector (e.g. f >= n, which would underflow quorum())
+  /// must fail loudly in every build type, not just under NDEBUG-off.
   explicit DetectorCore(const DetectorConfig& config);
 
   /// Registers an observer for suspicion transitions (may be nullptr).

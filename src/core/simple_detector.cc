@@ -2,13 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace mmrfd::core {
 
 SimpleDetectorCore::SimpleDetectorCore(const SimpleDetectorConfig& config)
     : config_(config), suspected_(config.n, false) {
-  assert(config_.n > 1);
-  assert(config_.f < config_.n);
+  if (config_.n < 1) {
+    throw std::invalid_argument("SimpleDetectorConfig: n must be >= 1, got " +
+                                std::to_string(config_.n));
+  }
+  if (config_.f >= config_.n) {
+    throw std::invalid_argument(
+        "SimpleDetectorConfig: f must be < n (got f=" +
+        std::to_string(config_.f) + ", n=" + std::to_string(config_.n) + ")");
+  }
+  if (config_.self.value >= config_.n) {
+    throw std::invalid_argument(
+        "SimpleDetectorConfig: self must be < n (got self=" +
+        std::to_string(config_.self.value) +
+        ", n=" + std::to_string(config_.n) + ")");
+  }
 }
 
 QueryMessage SimpleDetectorCore::start_query() {

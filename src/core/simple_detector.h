@@ -29,14 +29,15 @@ struct SimpleDetectorConfig {
   std::uint32_t n{0};
   std::uint32_t f{0};
 
-  [[nodiscard]] std::uint32_t quorum() const {
-    const std::uint32_t q = n - f;
-    return q == 0 ? 1 : q;
-  }
+  /// Requires n >= 1 && f < n (validated by SimpleDetectorCore), so n - f
+  /// needs no lower clamp — same contract as DetectorConfig::quorum().
+  [[nodiscard]] std::uint32_t quorum() const { return n - f; }
 };
 
 class SimpleDetectorCore final : public FailureDetector {
  public:
+  /// Throws std::invalid_argument unless n >= 1, f < n and self < n (the
+  /// same loud rejection of misconfiguration as DetectorCore).
   explicit SimpleDetectorCore(const SimpleDetectorConfig& config);
 
   void set_observer(SuspicionObserver* observer) { observer_ = observer; }

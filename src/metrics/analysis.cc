@@ -1,7 +1,10 @@
 #include "metrics/analysis.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
+#include <unordered_map>
+#include <unordered_set>
 
 namespace mmrfd::metrics {
 
@@ -31,26 +34,35 @@ std::vector<ProcessId> Analysis::faulty() const {
 }
 
 std::vector<Detection> Analysis::detections() const {
+  // One pass over the log builds the *final* suspicion interval per
+  // (observer, subject): last kSuspected with no later kCleared. The seed
+  // implementation re-scanned the whole log per (crash, observer) pair —
+  // O(crashes * observers * events), which at n = 1000 with f/2 crashes is
+  // ~10^10 event visits and dominated entire large-n sweeps.
+  std::unordered_map<std::uint64_t, TimePoint> last_suspected;
+  const auto key = [](ProcessId obs, ProcessId subj) {
+    return (static_cast<std::uint64_t>(obs.value) << 32) | subj.value;
+  };
+  for (const auto& e : log_.events()) {
+    if (e.kind == SuspicionEventKind::kSuspected) {
+      last_suspected[key(e.observer, e.subject)] = e.when;
+    } else if (e.kind == SuspicionEventKind::kCleared) {
+      last_suspected.erase(key(e.observer, e.subject));
+    }
+  }
   std::vector<Detection> out;
   const auto correct_set = correct();
+  out.reserve(log_.crashes().size() * correct_set.size());
   for (const auto& c : log_.crashes()) {
     for (ProcessId obs : correct_set) {
       Detection d;
       d.observer = obs;
       d.subject = c.subject;
       d.crash_at = c.when;
-      // The *final* suspicion interval: last kSuspected with no later
-      // kCleared (by this observer, of this subject).
-      std::optional<TimePoint> last_suspected;
-      for (const auto& e : log_.events()) {
-        if (e.observer != obs || e.subject != c.subject) continue;
-        if (e.kind == SuspicionEventKind::kSuspected) {
-          last_suspected = e.when;
-        } else if (e.kind == SuspicionEventKind::kCleared) {
-          last_suspected.reset();
-        }
+      if (auto it = last_suspected.find(key(obs, c.subject));
+          it != last_suspected.end()) {
+        d.detected_at = it->second;
       }
-      d.detected_at = last_suspected;
       out.push_back(std::move(d));
     }
   }
@@ -145,22 +157,28 @@ std::vector<FalseSuspicionPoint> Analysis::false_suspicion_series() const {
 }
 
 std::optional<TimePoint> Analysis::accuracy_stabilization() const {
-  const auto correct_set = correct();
-  std::optional<TimePoint> best;
-  for (ProcessId p : correct_set) {
-    // Last activity (suspicion start or end) naming p as subject; if an
-    // interval never closes, p fails.
-    TimePoint last = kTimeZero;
-    bool open_forever = false;
-    for (const auto& fs : false_suspicions()) {
-      if (fs.subject != p) continue;
-      if (!fs.cleared_at) {
-        open_forever = true;
-        break;
-      }
-      last = std::max(last, *fs.cleared_at);
+  // Aggregate one false_suspicions() pass per subject (the seed version
+  // recomputed the whole interval list once per correct process). For each
+  // p: the last repair instant naming p, or disqualification if some
+  // interval never closes.
+  std::unordered_map<std::uint32_t, TimePoint> last_clear;
+  std::unordered_set<std::uint32_t> open_forever;
+  for (const auto& fs : false_suspicions()) {
+    if (!fs.cleared_at) {
+      open_forever.insert(fs.subject.value);
+      continue;
     }
-    if (open_forever) continue;
+    auto [it, inserted] =
+        last_clear.try_emplace(fs.subject.value, *fs.cleared_at);
+    if (!inserted) it->second = std::max(it->second, *fs.cleared_at);
+  }
+  std::optional<TimePoint> best;
+  for (ProcessId p : correct()) {
+    if (open_forever.contains(p.value)) continue;
+    TimePoint last = kTimeZero;
+    if (auto it = last_clear.find(p.value); it != last_clear.end()) {
+      last = it->second;
+    }
     if (!best || last < *best) best = last;
   }
   return best;

@@ -97,6 +97,11 @@ class Network {
 
   /// Sends `msg` from `from` to `to`; delivery is scheduled after a sampled
   /// delay. Sending to a non-neighbor or from a crashed process asserts.
+  ///
+  /// Allocation profile: the common (no-duplication) path moves `msg`
+  /// straight into the delivery event — no copy, no shared wrapper. Only
+  /// when the duplication coin actually lands is the message promoted to a
+  /// shared payload, and then both delivery events share that single copy.
   void send(ProcessId from, ProcessId to, Msg msg) {
     assert(!is_crashed(from));
     assert(from == to || topology_.are_neighbors(from, to));
@@ -107,11 +112,13 @@ class Network {
       return;
     }
     if (duplicate_rate_ > 0.0 && loss_rng_.bernoulli(duplicate_rate_)) {
-      const Duration extra = delays_->sample(from, to, sim_.now(), rng_);
       ++stats_.messages_duplicated;
-      sim_.schedule(extra, [this, from, to, m = msg]() {
-        deliver(from, to, m);
-      });
+      auto payload = std::make_shared<const Msg>(std::move(msg));
+      // Keep the seed implementation's draw/schedule order bit-for-bit:
+      // duplicate delay first, then the primary delay.
+      schedule_delivery(from, to, payload);
+      schedule_delivery(from, to, std::move(payload));
+      return;
     }
     const Duration delay = delays_->sample(from, to, sim_.now(), rng_);
     assert(delay >= Duration::zero());
@@ -123,13 +130,52 @@ class Network {
   /// Sends `msg` to every neighbor of `from` (excluding `from`: protocol
   /// cores account for their own copy locally, which also implements the
   /// paper's "its own response always arrives among the first" convention).
+  ///
+  /// The message is copied exactly once, into an immutable shared payload
+  /// that every per-recipient delivery event references — O(1) message
+  /// copies per broadcast instead of the O(n) a send() loop would make.
+  /// Per-recipient loss/duplication/delay sampling is identical to a send()
+  /// loop, so stats and fixed-seed schedules match the per-send path.
   void broadcast(ProcessId from, const Msg& msg) {
-    for (ProcessId to : topology_.neighbors(from)) {
-      send(from, to, msg);
-    }
+    broadcast_payload(from, std::make_shared<const Msg>(msg));
+  }
+
+  /// Rvalue overload: the broadcast consumes `msg` without any copy at all.
+  void broadcast(ProcessId from, Msg&& msg) {
+    broadcast_payload(from, std::make_shared<const Msg>(std::move(msg)));
   }
 
  private:
+  void broadcast_payload(ProcessId from, std::shared_ptr<const Msg> payload) {
+    assert(!is_crashed(from));
+    const auto& neighbors = topology_.neighbors(from);
+    for (ProcessId to : neighbors) {
+      ++stats_.messages_sent;
+      if (size_fn_) stats_.bytes_sent += size_fn_(*payload);
+      if (loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_)) {
+        ++stats_.messages_dropped_loss;
+        continue;
+      }
+      if (duplicate_rate_ > 0.0 && loss_rng_.bernoulli(duplicate_rate_)) {
+        ++stats_.messages_duplicated;
+        schedule_delivery(from, to, payload);
+      }
+      schedule_delivery(from, to, payload);
+    }
+  }
+
+  /// Schedules one delivery of a shared payload after a sampled delay. The
+  /// event captures only {this, from, to, payload} — 40 bytes, comfortably
+  /// inside the simulator's inline-callable budget.
+  void schedule_delivery(ProcessId from, ProcessId to,
+                         std::shared_ptr<const Msg> payload) {
+    const Duration delay = delays_->sample(from, to, sim_.now(), rng_);
+    assert(delay >= Duration::zero());
+    sim_.schedule(delay, [this, from, to, p = std::move(payload)]() {
+      deliver(from, to, *p);
+    });
+  }
+
   void deliver(ProcessId from, ProcessId to, const Msg& msg) {
     if (crashed_[to.value]) {
       ++stats_.messages_dropped_crash;

@@ -1,44 +1,64 @@
 #include "sim/simulation.h"
 
-#include <cassert>
-#include <utility>
-
 namespace mmrfd::sim {
 
-EventId Simulation::schedule(Duration delay, std::function<void()> fn) {
-  assert(delay >= Duration::zero());
-  return schedule_at(now_ + delay, std::move(fn));
+std::uint32_t Simulation::acquire_slot() {
+  std::uint32_t slot;
+  if (free_head_ != kNilSlot) {
+    slot = free_head_;
+    free_head_ = nodes_[slot].next_free;
+    nodes_[slot].next_free = kNilSlot;
+  } else {
+    slot = static_cast<std::uint32_t>(nodes_.size());
+    assert(slot != kNilSlot);
+    nodes_.emplace_back();
+  }
+  ++live_;
+  return slot;
 }
 
-EventId Simulation::schedule_at(TimePoint when, std::function<void()> fn) {
-  assert(when >= now_);
-  const EventId id = next_id_++;
-  queue_.push(Event{when, id, std::move(fn)});
-  return id;
+void Simulation::release_slot(std::uint32_t slot) {
+  Node& node = nodes_[slot];
+  ++node.generation;  // invalidates every outstanding id/heap entry
+  node.fn.reset();
+  node.next_free = free_head_;
+  free_head_ = slot;
+  --live_;
 }
 
 bool Simulation::cancel(EventId id) {
-  if (id == kNoEvent || id >= next_id_) return false;
-  // Lazy cancellation: record the id; the pop loop skips it.
-  return cancelled_.insert(id).second;
+  if (id == kNoEvent) return false;
+  const auto slot_plus_one = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (slot_plus_one == 0 || slot_plus_one > nodes_.size()) return false;
+  const std::uint32_t slot = slot_plus_one - 1;
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (nodes_[slot].generation != generation) {
+    return false;  // already fired, already cancelled, or recycled
+  }
+  // The heap entry stays behind (lazy removal); popping recognises it as
+  // stale by its generation and skips it without touching the node.
+  release_slot(slot);
+  return true;
 }
 
 void Simulation::run_until(TimePoint deadline) {
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    const Event& top = queue_.top();
-    if (top.when > deadline) break;
-    // Moving out of a priority_queue requires const_cast; the element is
-    // popped immediately after, so no ordering invariant is violated.
-    Event ev = std::move(const_cast<Event&>(top));
-    queue_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
+  while (!heap_.empty() && !stop_requested_) {
+    const HeapEntry top = heap_.top();
+    if (nodes_[top.slot].generation != top.generation) {
+      heap_.pop();  // cancelled event's residue
       continue;
     }
-    now_ = ev.when;
+    if (top.when > deadline) break;
+    heap_.pop();
+    // Move the callable out and recycle the slot *before* invoking, so the
+    // callback can schedule (and even cancel) freely; its own id is already
+    // stale by the time it runs.
+    detail::Callable fn = std::move(nodes_[top.slot].fn);
+    release_slot(top.slot);
+    now_ = top.when;
     ++events_fired_;
-    ev.fn();
+    fn();
   }
   // Advance idle time to the deadline so run_for() composes, but never jump
   // to the run_all() sentinel.

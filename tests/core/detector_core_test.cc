@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/rng.h"
 
@@ -31,6 +32,51 @@ TEST(DetectorCore, InitialState) {
 TEST(DetectorCore, QuorumIsNMinusF) {
   EXPECT_EQ(cfg(0, 10, 3).quorum(), 7u);
   EXPECT_EQ(cfg(0, 4, 1).quorum(), 3u);
+  // f < n keeps n - f >= 1 without any lower clamp.
+  EXPECT_EQ(cfg(0, 1, 0).quorum(), 1u);
+  EXPECT_EQ(cfg(0, 5, 4).quorum(), 1u);
+}
+
+TEST(DetectorCore, ConstructorRejectsMisconfiguration) {
+  // f >= n used to underflow n - f in quorum() (masked by a zero-clamp);
+  // now the constructor rejects it in every build type.
+  EXPECT_THROW(DetectorCore{cfg(0, 5, 5)}, std::invalid_argument);
+  EXPECT_THROW(DetectorCore{cfg(0, 5, 7)}, std::invalid_argument);
+  EXPECT_THROW(DetectorCore{cfg(0, 0, 0)}, std::invalid_argument);
+  EXPECT_THROW(DetectorCore{cfg(5, 5, 1)}, std::invalid_argument);  // self >= n
+}
+
+TEST(DetectorCore, TiedTagMistakeRemergeIsNotAnEvent) {
+  struct CountingObserver final : SuspicionObserver {
+    int mistakes = 0;
+    void on_mistake(ProcessId, Tag) override { ++mistakes; }
+  } obs;
+  DetectorCore d(cfg(0, 4, 1));
+  d.set_observer(&obs);
+  QueryMessage in;
+  in.seq = 1;
+  in.mistakes = {{ProcessId{2}, 5}};
+  (void)d.on_query(ProcessId{1}, in);
+  EXPECT_EQ(obs.mistakes, 1);
+  // The same entry arriving from other peers changes no state and must not
+  // fire the observer again (at scale these no-op re-merges flooded the
+  // event log with hundreds of millions of entries).
+  (void)d.on_query(ProcessId{3}, in);
+  (void)d.on_query(ProcessId{1}, in);
+  EXPECT_EQ(obs.mistakes, 1);
+  // A strictly newer mistake is a transition again.
+  in.mistakes = {{ProcessId{2}, 6}};
+  (void)d.on_query(ProcessId{1}, in);
+  EXPECT_EQ(obs.mistakes, 2);
+}
+
+TEST(DetectorCore, SingletonSystemIsValidAndTerminatesInstantly) {
+  DetectorCore d(cfg(0, 1, 0));
+  EXPECT_TRUE(d.known().empty());
+  (void)d.start_query();
+  EXPECT_TRUE(d.query_terminated());  // quorum of 1 = the self-response
+  d.finish_round();
+  EXPECT_TRUE(d.suspected().empty());
 }
 
 TEST(DetectorCore, QuorumClampedToN) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "metrics/analysis.h"
 #include "runtime/simple_host.h"
 
@@ -15,6 +17,16 @@ SimpleDetectorConfig cfg(std::uint32_t self, std::uint32_t n,
   c.n = n;
   c.f = f;
   return c;
+}
+
+TEST(SimpleDetector, ConstructorRejectsMisconfiguration) {
+  // Same contract as DetectorCore: f >= n would underflow quorum()'s n - f
+  // (the old q == 0 clamp only caught exact zero, not the wrap-around).
+  EXPECT_THROW(SimpleDetectorCore{cfg(0, 5, 5)}, std::invalid_argument);
+  EXPECT_THROW(SimpleDetectorCore{cfg(0, 5, 7)}, std::invalid_argument);
+  EXPECT_THROW(SimpleDetectorCore{cfg(0, 0, 0)}, std::invalid_argument);
+  EXPECT_THROW(SimpleDetectorCore{cfg(5, 5, 1)}, std::invalid_argument);
+  EXPECT_EQ(cfg(0, 5, 4).quorum(), 1u);  // f < n: no lower clamp needed
 }
 
 TEST(SimpleDetector, SuspectsNonResponders) {

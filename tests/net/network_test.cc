@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
+#include <tuple>
+#include <utility>
 #include <variant>
+#include <vector>
 
 #include "sim/simulation.h"
 
@@ -124,6 +128,136 @@ TEST(Network, RandomDelaysAreDeterministicPerSeed) {
   };
   EXPECT_EQ(run(5), run(5));
   EXPECT_NE(run(5), run(6));
+}
+
+TEST(Network, BroadcastSkipsCrashedRecipients) {
+  Fixture f(5);
+  std::vector<std::uint32_t> receivers;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    f.net.set_handler(ProcessId{i}, [&receivers, i](ProcessId, const Msg&) {
+      receivers.push_back(i);
+    });
+  }
+  f.net.crash(ProcessId{3});
+  f.net.broadcast(ProcessId{0}, Msg{7});
+  f.sim.run_all();
+  std::sort(receivers.begin(), receivers.end());
+  EXPECT_EQ(receivers, (std::vector<std::uint32_t>{1, 2, 4}));
+  // The send still counts (the sender cannot know), the delivery is dropped.
+  EXPECT_EQ(f.net.stats().messages_sent, 4u);
+  EXPECT_EQ(f.net.stats().messages_delivered, 3u);
+  EXPECT_EQ(f.net.stats().messages_dropped_crash, 1u);
+}
+
+TEST(Network, BroadcastStatsAndScheduleMatchPerSendPath) {
+  // The shared-payload broadcast must be observationally identical to a
+  // send() loop: same stats, same per-recipient delay draws, same arrival
+  // times — so the refactor cannot shift any fixed-seed experiment.
+  auto run = [](bool use_broadcast) {
+    sim::Simulation sim;
+    TestNetwork net(sim, Topology::full(6),
+                    std::make_unique<ExponentialDelay>(from_millis(1),
+                                                       from_millis(5)),
+                    /*seed=*/9);
+    net.set_size_fn([](const Msg& m) {
+      return std::holds_alternative<int>(m) ? std::size_t{8}
+                                            : std::get<std::string>(m).size();
+    });
+    std::vector<std::pair<std::uint32_t, TimePoint>> arrivals;
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      net.set_handler(ProcessId{i}, [&arrivals, &sim, i](ProcessId,
+                                                         const Msg&) {
+        arrivals.emplace_back(i, sim.now());
+      });
+    }
+    for (int round = 0; round < 10; ++round) {
+      if (use_broadcast) {
+        net.broadcast(ProcessId{2}, Msg{round});
+      } else {
+        for (ProcessId to : net.topology().neighbors(ProcessId{2})) {
+          net.send(ProcessId{2}, to, Msg{round});
+        }
+      }
+      sim.run_all();
+    }
+    return std::tuple{arrivals, net.stats().messages_sent,
+                      net.stats().bytes_sent, net.stats().messages_delivered};
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(Network, BroadcastSharesOnePayloadAcrossRecipients) {
+  Fixture f(4);
+  // Record the payload's address and content *at delivery time* (the shared
+  // payload dies with its last delivery event, so it must not be touched
+  // after run_all()).
+  std::vector<const void*> addresses;
+  std::vector<std::string> contents;
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    f.net.set_handler(ProcessId{i}, [&](ProcessId, const Msg& m) {
+      addresses.push_back(&m);
+      contents.push_back(std::get<std::string>(m));
+    });
+  }
+  f.net.broadcast(ProcessId{0}, Msg{std::string("shared")});
+  f.sim.run_all();
+  ASSERT_EQ(addresses.size(), 3u);
+  // All three handlers observed the same immutable payload object.
+  EXPECT_EQ(addresses[0], addresses[1]);
+  EXPECT_EQ(addresses[1], addresses[2]);
+  for (const auto& c : contents) EXPECT_EQ(c, "shared");
+}
+
+TEST(Network, DuplicateRateDeliversTwiceAndCounts) {
+  Fixture f(2);
+  int delivered = 0;
+  f.net.set_handler(ProcessId{1}, [&](ProcessId, const Msg&) { ++delivered; });
+  f.net.set_duplicate_rate(0.5);
+  const int sent = 2000;
+  for (int i = 0; i < sent; ++i) {
+    f.net.send(ProcessId{0}, ProcessId{1}, Msg{i});
+  }
+  f.sim.run_all();
+  const auto& st = f.net.stats();
+  EXPECT_EQ(st.messages_sent, static_cast<std::uint64_t>(sent));
+  // Every duplication coin that landed produced exactly one extra delivery.
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered),
+            st.messages_sent + st.messages_duplicated);
+  EXPECT_GT(st.messages_duplicated, 800u);
+  EXPECT_LT(st.messages_duplicated, 1200u);
+}
+
+TEST(Network, BroadcastHonoursDuplicateRate) {
+  Fixture f(3);
+  int delivered = 0;
+  for (std::uint32_t i = 1; i < 3; ++i) {
+    f.net.set_handler(ProcessId{i},
+                      [&](ProcessId, const Msg&) { ++delivered; });
+  }
+  f.net.set_duplicate_rate(0.5);
+  for (int round = 0; round < 500; ++round) {
+    f.net.broadcast(ProcessId{0}, Msg{round});
+  }
+  f.sim.run_all();
+  const auto& st = f.net.stats();
+  EXPECT_EQ(st.messages_sent, 1000u);
+  EXPECT_EQ(static_cast<std::uint64_t>(delivered),
+            st.messages_sent + st.messages_duplicated);
+  EXPECT_GT(st.messages_duplicated, 400u);
+}
+
+TEST(Network, BroadcastRvalueConsumesMessage) {
+  Fixture f(3);
+  int delivered = 0;
+  for (std::uint32_t i = 1; i < 3; ++i) {
+    f.net.set_handler(ProcessId{i}, [&](ProcessId, const Msg& m) {
+      EXPECT_EQ(std::get<std::string>(m), "moved payload");
+      ++delivered;
+    });
+  }
+  f.net.broadcast(ProcessId{0}, Msg{std::string("moved payload")});
+  f.sim.run_all();
+  EXPECT_EQ(delivered, 2);
 }
 
 TEST(Network, SparseTopologyRestrictsBroadcast) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace mmrfd::sim {
@@ -90,8 +93,73 @@ TEST(Simulation, CancelUnknownOrFiredIsNoop) {
   const EventId id = s.schedule(from_millis(1), [&] { fired = true; });
   s.run_all();
   EXPECT_TRUE(fired);
-  EXPECT_FALSE(s.cancel(id) && false);  // already fired: cancel returns true
-                                        // only if it was still pending
+  // Regression: cancelling an already-fired event must be a false no-op.
+  // The seed implementation returned true here and leaked a tombstone into
+  // its cancelled-set that nothing would ever erase.
+  EXPECT_FALSE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // still false on repeat
+}
+
+TEST(Simulation, CancelOwnEventWhileFiringIsNoop) {
+  // By the time a callback runs, its own id is already retired; a detector
+  // that defensively cancels its active timer must get `false`, not a leak.
+  Simulation s;
+  EventId self_id = kNoEvent;
+  bool result = true;
+  self_id = s.schedule(from_millis(1), [&] { result = s.cancel(self_id); });
+  s.run_all();
+  EXPECT_FALSE(result);
+}
+
+TEST(Simulation, RecycledSlotDoesNotAliasOldId) {
+  // After cancel, the event's slot is recycled for the next schedule; the
+  // stale id carries the old generation and must not cancel the new event.
+  Simulation s;
+  bool fired_b = false;
+  const EventId a = s.schedule(from_millis(5), [] {});
+  EXPECT_TRUE(s.cancel(a));
+  const EventId b = s.schedule(from_millis(5), [&] { fired_b = true; });
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(s.cancel(a));  // stale handle, generation mismatch
+  s.run_all();
+  EXPECT_TRUE(fired_b);
+}
+
+TEST(Simulation, ScheduleCancelSteadyStateKeepsNoLiveEvents) {
+  // The baseline detectors' arm/cancel timer pattern: the slab recycles one
+  // slot, live count returns to zero every iteration, and none of the
+  // cancelled events ever fires.
+  Simulation s;
+  for (int i = 0; i < 10000; ++i) {
+    const EventId id = s.schedule(from_seconds(3600), [] { FAIL(); });
+    EXPECT_TRUE(s.cancel(id));
+    EXPECT_EQ(s.events_live(), 0u);
+  }
+  s.run_all();
+  EXPECT_EQ(s.events_fired(), 0u);
+  EXPECT_EQ(s.events_pending(), 0u);
+}
+
+TEST(Simulation, LargeCapturesFallBackToHeapTransparently) {
+  // Captures beyond the inline-callable budget must still work (the slab
+  // boxes them); behaviour is identical either way.
+  Simulation s;
+  std::array<std::uint64_t, 32> big{};  // 256 bytes, over the inline budget
+  big[31] = 42;
+  std::uint64_t seen = 0;
+  s.schedule(from_millis(1), [big, &seen] { seen = big[31]; });
+  s.run_all();
+  EXPECT_EQ(seen, 42u);
+}
+
+TEST(Simulation, CancelledEventsDoNotAdvanceTime) {
+  Simulation s;
+  const EventId id = s.schedule(from_millis(50), [] {});
+  s.schedule(from_millis(10), [] {});
+  s.cancel(id);
+  s.run_all();
+  EXPECT_EQ(s.now(), from_millis(10));  // the cancelled 50ms residue is inert
+  EXPECT_EQ(s.events_fired(), 1u);
 }
 
 TEST(Simulation, CancelTwiceSecondIsNoop) {
