@@ -10,12 +10,31 @@
 // The n=1000 default sweep exercises ~2 million messages per simulated
 // second (every host broadcasts an n-1-recipient query plus collects n-1
 // responses per pacing period), which is exactly the workload the
-// shared-payload broadcast and the pooled event heap exist for.
+// shared-payload broadcast, the pooled event heap and the delta-encoded
+// query path exist for.
+//
+// --mode both (the default) runs every (n, seed) config under the delta
+// wire encoding AND the canonical full encoding: the `delta` column is the
+// sweep's own differential check (state metrics must match row for row) and
+// `B_per_query` shows what the encoding buys. --jobs N forks one process
+// per config so seed-averaged sweeps use the whole machine.
+#include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MMRFD_HAVE_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#else
+#define MMRFD_HAVE_FORK 0
+#endif
 
 #include "common/argparse.h"
 #include "exp_common.h"
@@ -26,16 +45,24 @@ using metrics::Table;
 
 namespace {
 
+struct ScaleConfig {
+  std::uint32_t n{0};
+  std::uint64_t seed{0};
+  bool delta{true};
+};
+
 struct ScaleResult {
   std::uint32_t n{0};
   std::uint32_t f{0};
   std::uint64_t seed{0};
+  bool delta{true};
   double horizon_s{0};
   double wall_s{0};
   std::uint64_t events_fired{0};
   double events_per_sec{0};
   std::uint64_t messages_sent{0};
   std::uint64_t bytes_sent{0};
+  double bytes_per_query{0};
   std::size_t crashes{0};
   bool strong_completeness{false};
   double detection_mean_s{0};
@@ -43,17 +70,21 @@ struct ScaleResult {
   double detection_max_s{0};
   std::size_t false_suspicions{0};
 };
+// The --jobs path ships results from child to parent as raw bytes.
+static_assert(std::is_trivially_copyable_v<ScaleResult>);
 
-ScaleResult run_config(std::uint32_t n, std::uint64_t seed, Duration horizon,
-                       Duration pacing, bool with_spike) {
+ScaleResult run_config(const ScaleConfig& c, Duration horizon, Duration pacing,
+                       bool with_spike) {
+  const std::uint32_t n = c.n;
   runtime::MmrClusterConfig cfg;
   cfg.n = n;
   cfg.f = (n + 3) / 4;
-  cfg.seed = seed;
+  cfg.seed = c.seed;
   cfg.pacing = pacing;
   cfg.pacing_jitter = 0.1;  // arbitrary inter-query times, as the model allows
   cfg.mean_delay = from_millis(1);
   cfg.delay_preset = net::DelayPreset::kExponential;
+  cfg.delta_queries = c.delta;
   if (with_spike) {
     // A transient slowdown on ~1% of the nodes in the back half of the run.
     // The factor pushes their mean delay (1ms) past the pacing period (1s),
@@ -70,17 +101,30 @@ ScaleResult run_config(std::uint32_t n, std::uint64_t seed, Duration horizon,
     cfg.spike = spike;
   }
   runtime::MmrCluster cluster(cfg);
-  cluster.network().set_size_fn([](const runtime::MmrMessage& m) {
-    return std::visit(
+  // Per-query byte accounting rides the size_fn: wire_size is exact for
+  // both encodings, so bytes/query is the sweep's full-vs-delta column.
+  struct WireTally {
+    std::uint64_t query_bytes{0};
+    std::uint64_t queries{0};
+  };
+  auto tally = std::make_shared<WireTally>();
+  cluster.network().set_size_fn([tally](const runtime::MmrMessage& m) {
+    const std::size_t size = std::visit(
         [](const auto& msg) { return transport::wire_size(msg); }, m);
+    if (std::holds_alternative<core::QueryMessage>(m)) {
+      tally->query_bytes += size;
+      ++tally->queries;
+    }
+    return size;
   });
 
   const std::size_t crashes = cfg.f / 2;
   const auto plan = runtime::CrashPlan::uniform(
       crashes, n, from_seconds(to_seconds(horizon) * 0.2),
-      from_seconds(to_seconds(horizon) * 0.6), seed);
+      from_seconds(to_seconds(horizon) * 0.6), c.seed);
 
-  std::cerr << "[exp_scale] n=" << n << " seed=" << seed << " simulating...\n";
+  std::cerr << "[exp_scale] n=" << n << " seed=" << c.seed
+            << (c.delta ? " delta" : " full") << " simulating...\n";
   const auto wall_start = std::chrono::steady_clock::now();
   cluster.start(plan);
   cluster.run_for(horizon);
@@ -101,7 +145,8 @@ ScaleResult run_config(std::uint32_t n, std::uint64_t seed, Duration horizon,
   ScaleResult r;
   r.n = n;
   r.f = cfg.f;
-  r.seed = seed;
+  r.seed = c.seed;
+  r.delta = c.delta;
   r.horizon_s = to_seconds(horizon);
   r.wall_s = wall.count();
   r.events_fired = cluster.simulation().events_fired();
@@ -109,6 +154,11 @@ ScaleResult run_config(std::uint32_t n, std::uint64_t seed, Duration horizon,
       wall.count() > 0 ? static_cast<double>(r.events_fired) / wall.count() : 0;
   r.messages_sent = cluster.network().stats().messages_sent;
   r.bytes_sent = cluster.network().stats().bytes_sent;
+  r.bytes_per_query =
+      tally->queries > 0
+          ? static_cast<double>(tally->query_bytes) /
+                static_cast<double>(tally->queries)
+          : 0;
   r.crashes = crashes;
   r.strong_completeness = m.strong_completeness;
   r.detection_mean_s = m.detection_latencies.mean();
@@ -117,6 +167,95 @@ ScaleResult run_config(std::uint32_t n, std::uint64_t seed, Duration horizon,
   r.false_suspicions = m.false_suspicions;
   return r;
 }
+
+#if MMRFD_HAVE_FORK
+/// Runs every config in its own forked process, at most `jobs` at a time
+/// (the configs are embarrassingly parallel; one process per config also
+/// returns each run's slab/log memory to the OS the moment it finishes).
+/// Results arrive over per-child pipes and land at their config's index, so
+/// the output order is identical to the serial path. Returns false if any
+/// child failed.
+bool run_forked(const std::vector<ScaleConfig>& configs, Duration horizon,
+                Duration pacing, bool with_spike, std::size_t jobs,
+                std::vector<ScaleResult>& results) {
+  struct Child {
+    pid_t pid{-1};
+    int fd{-1};
+    std::size_t index{0};
+  };
+  std::vector<Child> active;
+  std::size_t next = 0;
+  bool ok = true;
+
+  auto spawn = [&](std::size_t index) {
+    int fds[2];
+    if (pipe(fds) != 0) {
+      std::cerr << "exp_scale: pipe failed: " << std::strerror(errno) << "\n";
+      return false;
+    }
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::cerr << "exp_scale: fork failed: " << std::strerror(errno) << "\n";
+      close(fds[0]);
+      close(fds[1]);
+      return false;
+    }
+    if (pid == 0) {
+      close(fds[0]);
+      const ScaleResult r =
+          run_config(configs[index], horizon, pacing, with_spike);
+      const char* p = reinterpret_cast<const char*>(&r);
+      std::size_t left = sizeof r;
+      while (left > 0) {
+        const ssize_t w = write(fds[1], p, left);
+        if (w <= 0) _exit(2);
+        p += w;
+        left -= static_cast<std::size_t>(w);
+      }
+      _exit(0);
+    }
+    close(fds[1]);
+    active.push_back(Child{pid, fds[0], index});
+    return true;
+  };
+
+  while (next < configs.size() || !active.empty()) {
+    while (ok && next < configs.size() && active.size() < jobs) {
+      if (!spawn(next)) {
+        ok = false;
+        break;
+      }
+      ++next;
+    }
+    if (active.empty()) break;
+    int status = 0;
+    const pid_t done = waitpid(-1, &status, 0);
+    auto it = active.begin();
+    while (it != active.end() && it->pid != done) ++it;
+    if (it == active.end()) continue;  // not one of ours
+    ScaleResult r;
+    char* p = reinterpret_cast<char*>(&r);
+    std::size_t got = 0;
+    while (got < sizeof r) {
+      const ssize_t n_read = read(it->fd, p + got, sizeof(r) - got);
+      if (n_read <= 0) break;
+      got += static_cast<std::size_t>(n_read);
+    }
+    close(it->fd);
+    const bool child_ok =
+        WIFEXITED(status) && WEXITSTATUS(status) == 0 && got == sizeof r;
+    if (child_ok) {
+      results[it->index] = r;
+    } else {
+      std::cerr << "exp_scale: worker for n=" << configs[it->index].n
+                << " seed=" << configs[it->index].seed << " failed\n";
+      ok = false;
+    }
+    active.erase(it);
+  }
+  return ok;
+}
+#endif  // MMRFD_HAVE_FORK
 
 [[nodiscard]] bool write_json(const std::vector<ScaleResult>& results,
                               const std::string& path) {
@@ -132,12 +271,14 @@ ScaleResult run_config(std::uint32_t n, std::uint64_t seed, Duration horizon,
     os << (first ? "\n" : ",\n");
     first = false;
     os << "    {\"n\": " << r.n << ", \"f\": " << r.f
-       << ", \"seed\": " << r.seed << ", \"horizon_s\": " << r.horizon_s
-       << ", \"wall_s\": " << r.wall_s
+       << ", \"seed\": " << r.seed
+       << ", \"delta\": " << (r.delta ? "true" : "false")
+       << ", \"horizon_s\": " << r.horizon_s << ", \"wall_s\": " << r.wall_s
        << ", \"events_fired\": " << r.events_fired
        << ", \"events_per_sec\": " << r.events_per_sec
        << ", \"messages_sent\": " << r.messages_sent
        << ", \"bytes_sent\": " << r.bytes_sent
+       << ", \"bytes_per_query\": " << r.bytes_per_query
        << ", \"crashes\": " << r.crashes << ", \"strong_completeness\": "
        << (r.strong_completeness ? "true" : "false")
        << ", \"detection_mean_s\": " << r.detection_mean_s
@@ -164,6 +305,8 @@ int main(int argc, char** argv) {
       .flag("horizon", "20", "simulated seconds per run")
       .flag("period", "1000", "query pacing Delta (ms)")
       .flag("spike", "true", "inject a mid-run delay spike on ~1% of nodes")
+      .flag("mode", "both", "query encoding: delta, full, or both")
+      .flag("jobs", "1", "fork one worker process per config, N at a time")
       .flag("out", "BENCH_scale.json", "JSON output path")
       .flag("csv", "false", "emit CSV instead of an aligned table");
   if (!args.parse(argc, argv)) return 0;
@@ -206,33 +349,69 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  const std::string mode = args.get("mode");
+  if (mode != "delta" && mode != "full" && mode != "both") {
+    std::cerr << "exp_scale: --mode must be delta, full or both (got '"
+              << mode << "')\n";
+    return 1;
+  }
+  const int jobs_arg = args.get_int("jobs");
+  if (jobs_arg < 1) {
+    std::cerr << "exp_scale: --jobs must be >= 1\n";
+    return 1;
+  }
+  const auto jobs = static_cast<std::size_t>(jobs_arg);
+#if !MMRFD_HAVE_FORK
+  if (jobs > 1) {
+    std::cerr << "exp_scale: --jobs needs fork(); running serially\n";
+  }
+#endif
   const auto horizon =
       from_seconds(static_cast<double>(args.get_int("horizon")));
   const auto pacing = from_millis(static_cast<double>(args.get_int("period")));
 
   std::cout << "# SCALE: simulator stress sweep  (f = n/4, f/2 crashes, "
             << (args.get_bool("spike") ? "spike on" : "spike off")
-            << ", horizon " << args.get_int("horizon") << "s)\n\n";
+            << ", horizon " << args.get_int("horizon") << "s, mode " << mode
+            << ")\n\n";
 
-  Table table({"n", "f", "seed", "wall_s", "events", "events_per_sec",
-               "msgs_sent", "mean_det_s", "p99_det_s", "complete",
-               "false_susp"});
-  std::vector<ScaleResult> results;
+  // Build the config list up front (the unit of work for --jobs). Encoding
+  // varies fastest so full-vs-delta rows for one (n, seed) sit adjacent.
+  std::vector<ScaleConfig> configs;
   for (const std::uint32_t n : sizes) {
     for (std::uint64_t seed = 1;
          seed <= static_cast<std::uint64_t>(args.get_int("seeds")); ++seed) {
-      const auto r =
-          run_config(n, seed, horizon, pacing, args.get_bool("spike"));
-      results.push_back(r);
-      table.add_row({Table::num(std::uint64_t{r.n}),
-                     Table::num(std::uint64_t{r.f}), Table::num(r.seed),
-                     Table::num(r.wall_s), Table::num(r.events_fired),
-                     Table::num(r.events_per_sec), Table::num(r.messages_sent),
-                     Table::num(r.detection_mean_s),
-                     Table::num(r.detection_p99_s),
-                     r.strong_completeness ? "yes" : "no",
-                     Table::num(std::uint64_t{r.false_suspicions})});
+      if (mode != "delta") configs.push_back({n, seed, false});
+      if (mode != "full") configs.push_back({n, seed, true});
     }
+  }
+
+  std::vector<ScaleResult> results(configs.size());
+  const bool spike = args.get_bool("spike");
+#if MMRFD_HAVE_FORK
+  if (jobs > 1) {
+    if (!run_forked(configs, horizon, pacing, spike, jobs, results)) return 1;
+  } else
+#endif
+  {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      results[i] = run_config(configs[i], horizon, pacing, spike);
+    }
+  }
+
+  Table table({"n", "f", "seed", "delta", "wall_s", "events",
+               "events_per_sec", "msgs_sent", "B_per_query", "mean_det_s",
+               "p99_det_s", "complete", "false_susp"});
+  for (const auto& r : results) {
+    table.add_row({Table::num(std::uint64_t{r.n}),
+                   Table::num(std::uint64_t{r.f}), Table::num(r.seed),
+                   r.delta ? "yes" : "no", Table::num(r.wall_s),
+                   Table::num(r.events_fired), Table::num(r.events_per_sec),
+                   Table::num(r.messages_sent), Table::num(r.bytes_per_query),
+                   Table::num(r.detection_mean_s),
+                   Table::num(r.detection_p99_s),
+                   r.strong_completeness ? "yes" : "no",
+                   Table::num(std::uint64_t{r.false_suspicions})});
   }
 
   if (args.get_bool("csv")) {

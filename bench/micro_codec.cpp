@@ -19,9 +19,9 @@ core::QueryMessage query_with(std::size_t entries) {
         ProcessId{static_cast<std::uint32_t>(rng.next_below(100000))},
         rng.next()};
     if (i % 2 == 0) {
-      q.suspected.push_back(e);
+      q.push_suspected(e);
     } else {
-      q.mistakes.push_back(e);
+      q.push_mistake(e);
     }
   }
   return q;

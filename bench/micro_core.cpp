@@ -31,9 +31,9 @@ QueryMessage query_with_entries(std::uint32_t n, std::size_t entries,
         ProcessId{static_cast<std::uint32_t>(1 + rng.next_below(n - 1))},
         rng.next_below(1000)};
     if (rng.bernoulli(0.5)) {
-      q.suspected.push_back(e);
+      q.push_suspected(e);
     } else {
-      q.mistakes.push_back(e);
+      q.push_mistake(e);
     }
   }
   return q;

@@ -71,7 +71,7 @@ void sans_io_core() {
   // suspected it answers with a mistake. Simulate receiving that mistake:
   core::QueryMessage from_p2;
   from_p2.seq = 1;
-  from_p2.mistakes = {{ProcessId{2}, detector.counter() + 1}};
+  from_p2.push_mistake({ProcessId{2}, detector.counter() + 1});
   (void)detector.on_query(ProcessId{2}, from_p2);
   std::cout << "after p2's self-defence, p2 suspected: "
             << detector.is_suspected(ProcessId{2}) << "\n";

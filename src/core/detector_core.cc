@@ -2,23 +2,21 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
 namespace mmrfd::core {
 
 namespace {
-bool contains_sorted(const std::vector<ProcessId>& v, ProcessId id) {
-  return std::binary_search(v.begin(), v.end(), id);
-}
-
 void insert_sorted(std::vector<ProcessId>& v, ProcessId id) {
   auto it = std::lower_bound(v.begin(), v.end(), id);
   if (it == v.end() || *it != id) v.insert(it, id);
 }
 }  // namespace
 
-DetectorCore::DetectorCore(const DetectorConfig& config) : config_(config) {
+DetectorCore::DetectorCore(const DetectorConfig& config)
+    : config_(config), delta_(config.n, config.delta_journal_capacity) {
   if (config_.n < 1) {
     throw std::invalid_argument("DetectorConfig: n must be >= 1, got " +
                                 std::to_string(config_.n));
@@ -40,33 +38,98 @@ DetectorCore::DetectorCore(const DetectorConfig& config) : config_(config) {
   for (std::uint32_t i = 0; i < config_.n; ++i) {
     if (i != config_.self.value) known_.push_back(ProcessId{i});
   }
+  dense_tag_.assign(config_.n, 0);
+  dense_kind_.assign(config_.n, 0);
+  responded_.assign(config_.n, false);
 }
 
 QueryMessage DetectorCore::start_query() {
+  begin_query();
+  return full_query();
+}
+
+void DetectorCore::begin_query() {
   assert(!in_progress_ || terminated_);
   ++seq_;
   in_progress_ = true;
   rec_from_.clear();
   winning_.clear();
+  responded_.assign(config_.n, false);
   // The issuer's own response is always counted, and always among the first
   // quorum() (paper convention).
   rec_from_.push_back(config_.self);
+  responded_[config_.self.value] = true;
   winning_.push_back(config_.self);
   terminated_ = rec_from_.size() >= config_.quorum();
+  delta_.begin_round();
+  round_queries_.clear();
+}
 
+QueryMessage DetectorCore::full_query() const {
   QueryMessage q;
   q.seq = seq_;
-  q.suspected.assign(suspected_.entries().begin(), suspected_.entries().end());
-  q.mistakes.assign(mistake_.entries().begin(), mistake_.entries().end());
+  // Reference full mode stays epoch-less — byte-identical to the paper's
+  // encoding; the delta machinery only engages via acknowledgements.
+  q.epoch = config_.delta_queries ? delta_.sent_epoch() : 0;
+  q.entries.reserve(suspected_.size() + mistake_.size());
+  q.entries.assign(suspected_.entries().begin(), suspected_.entries().end());
+  q.entries.insert(q.entries.end(), mistake_.entries().begin(),
+                   mistake_.entries().end());
+  q.suspected_count = static_cast<std::uint32_t>(suspected_.size());
+  return q;
+}
+
+bool DetectorCore::full_query_needed(ProcessId peer) const {
+  if (!config_.delta_queries) return true;
+  return delta_.full_needed(peer, suspected_.size() + mistake_.size());
+}
+
+QueryMessage DetectorCore::query_for(ProcessId peer) {
+  assert(in_progress_);
+  assert(delta_.epoch() == delta_.sent_epoch());  // no mutation since begin
+  const Epoch base = full_query_needed(peer) ? 0 : delta_.acked(peer);
+  for (const auto& [b, q] : round_queries_) {
+    if (b == base) return q;
+  }
+  QueryMessage q;
+  if (base == 0) {
+    q = full_query();
+  } else {
+    q.seq = seq_;
+    q.epoch = delta_.sent_epoch();
+    q.base_epoch = base;
+    q.set_delta(true);
+    std::vector<TaggedEntry> mist;
+    for (ProcessId id : delta_.journal().changed_since(base)) {
+      // Every id ever touched stays in exactly one of the two sets (erase
+      // only ever accompanies a re-add), so the lookups cannot both miss.
+      if (const auto t = suspected_.tag_of(id)) {
+        q.entries.push_back({id, *t});
+      } else {
+        mist.push_back({id, *mistake_.tag_of(id)});
+      }
+    }
+    q.suspected_count = static_cast<std::uint32_t>(q.entries.size());
+    q.entries.insert(q.entries.end(), mist.begin(), mist.end());
+  }
+  round_queries_.emplace_back(base, q);
   return q;
 }
 
 bool DetectorCore::on_response(ProcessId from, const ResponseMessage& response) {
   if (!in_progress_ || response.seq != seq_) return false;  // stale round
+  // Watermark bookkeeping: a response to the current query proves the peer
+  // merged its contents, i.e. our state through the epoch it echoes. Valid
+  // even for responses rejected below as late/duplicate (DeltaState clamps
+  // the ack and drops the watermark on need_full).
+  delta_.on_ack(from, response.ack_epoch, response.need_full);
+  // A sender id outside Pi cannot count toward a quorum (only reachable via
+  // forged datagrams on the live path; simulated senders are always < n).
+  if (from.value >= config_.n) return false;
   if (terminated_ && !config_.accept_late_responses) return false;
-  auto it = std::lower_bound(rec_from_.begin(), rec_from_.end(), from);
-  if (it != rec_from_.end() && *it == from) return false;  // duplicate
-  rec_from_.insert(it, from);
+  if (responded_[from.value]) return false;  // duplicate
+  responded_[from.value] = true;
+  rec_from_.push_back(from);
   if (!terminated_) {
     winning_.push_back(from);
     if (rec_from_.size() >= config_.quorum()) {
@@ -83,11 +146,14 @@ void DetectorCore::finish_round() {
   // T1 lines 9-15: suspect every known process that did not respond and is
   // not already suspected.
   for (ProcessId pj : known_) {
-    if (contains_sorted(rec_from_, pj)) continue;
-    if (suspected_.contains(pj)) continue;
-    if (auto mtag = mistake_.tag_of(pj)) {
+    // Ids >= n (bogus live-path senders remembered in known_) can never
+    // have responded — on_response rejects them.
+    if (pj.value < responded_.size() && responded_[pj.value]) continue;
+    const auto mine = local_tag(pj);
+    if (mine.has_value() && !is_mistake(pj)) continue;  // already suspected
+    if (mine.has_value()) {
       // A stale mistake exists: the fresh suspicion must dominate it.
-      counter_ = std::max(counter_, *mtag + 1);
+      counter_ = std::max(counter_, *mine + 1);
       mistake_.erase(pj);
     }
     add_suspicion(pj, counter_);
@@ -101,8 +167,16 @@ ResponseMessage DetectorCore::on_query(ProcessId from,
                                        const QueryMessage& query) {
   insert_sorted(known_, from);  // T2 line 20 (no-op with known membership)
 
+  // Epoch miss: a delta built on a base we never acknowledged (we lost
+  // state, or the ack the sender saw was not ours). The entries themselves
+  // are still safe to merge — tagged information is valid regardless of
+  // transport — but we cannot claim the sender's state through query.epoch,
+  // so we ask for a full resync instead of advancing seen_epoch_.
+  const bool epoch_miss =
+      delta_.epoch_miss(from, query.is_delta(), query.base_epoch);
+
   // First loop (T2 lines 21-31): merge the sender's suspicions.
-  for (const TaggedEntry& e : query.suspected) {
+  for (const TaggedEntry& e : query.suspected()) {
     const auto mine = local_tag(e.id);
     const bool newer = !mine.has_value() || *mine < e.tag;
     if (!newer) continue;
@@ -120,11 +194,11 @@ ResponseMessage DetectorCore::on_query(ProcessId from,
 
   // Second loop (T2 lines 32-37): merge the sender's mistakes. Note `<=`:
   // on a tag tie the mistake wins over the suspicion.
-  for (const TaggedEntry& e : query.mistakes) {
+  for (const TaggedEntry& e : query.mistakes()) {
     const auto mine = local_tag(e.id);
     const bool newer_or_tied = !mine.has_value() || *mine <= e.tag;
     if (!newer_or_tied) continue;
-    if (mine.has_value() && *mine == e.tag && mistake_.contains(e.id)) {
+    if (mine.has_value() && *mine == e.tag && is_mistake(e.id)) {
       // Identical entry already present: re-adding changes no state, and
       // firing on_mistake for it floods the event log — at n = 1000 a
       // post-spike sweep logged ~200M of these no-op "events" (6+ GB).
@@ -134,7 +208,8 @@ ResponseMessage DetectorCore::on_query(ProcessId from,
     add_mistake(e.id, e.tag);
   }
 
-  return ResponseMessage{query.seq};  // T2 line 38
+  if (!epoch_miss) delta_.note_seen(from, query.epoch);
+  return ResponseMessage{query.seq, query.epoch, epoch_miss};  // T2 line 38
 }
 
 std::vector<ProcessId> DetectorCore::suspected() const {
@@ -142,6 +217,7 @@ std::vector<ProcessId> DetectorCore::suspected() const {
 }
 
 bool DetectorCore::is_suspected(ProcessId id) const {
+  if (id.value < dense_kind_.size()) return dense_kind_[id.value] == 1;
   return suspected_.contains(id);
 }
 
@@ -150,6 +226,11 @@ void DetectorCore::add_suspicion(ProcessId id, Tag tag) {
   assert(!mistake_.contains(id));  // callers erase the mistake entry first
   const bool was_suspected = suspected_.contains(id);
   suspected_.add(id, tag);
+  if (id.value < dense_kind_.size()) {
+    dense_kind_[id.value] = 1;
+    dense_tag_[id.value] = tag;
+  }
+  delta_.record(id);
   if (!was_suspected && observer_ != nullptr) {
     observer_->on_suspected(id, tag);
   }
@@ -159,6 +240,11 @@ void DetectorCore::add_mistake(ProcessId id, Tag tag) {
   const bool was_suspected = suspected_.contains(id);
   if (was_suspected) suspected_.erase(id);
   mistake_.add(id, tag);
+  if (id.value < dense_kind_.size()) {
+    dense_kind_[id.value] = 2;
+    dense_tag_[id.value] = tag;
+  }
+  delta_.record(id);
   if (observer_ != nullptr) {
     if (was_suspected) observer_->on_cleared(id, tag);
     observer_->on_mistake(id, tag);
@@ -166,8 +252,17 @@ void DetectorCore::add_mistake(ProcessId id, Tag tag) {
 }
 
 std::optional<Tag> DetectorCore::local_tag(ProcessId id) const {
+  if (id.value < dense_kind_.size()) {
+    if (dense_kind_[id.value] == 0) return std::nullopt;
+    return dense_tag_[id.value];
+  }
   if (auto t = suspected_.tag_of(id)) return t;
   return mistake_.tag_of(id);
+}
+
+bool DetectorCore::is_mistake(ProcessId id) const {
+  if (id.value < dense_kind_.size()) return dense_kind_[id.value] == 2;
+  return mistake_.contains(id);
 }
 
 }  // namespace mmrfd::core

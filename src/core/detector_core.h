@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/tagged_set.h"
@@ -60,6 +61,20 @@ struct DetectorConfig {
   /// of (n - f). Ablation knob (experiment E7); 0 is the paper's protocol.
   std::uint32_t extra_quorum{0};
 
+  /// Delta-encode queries: track, per peer, the highest state epoch that
+  /// peer acknowledged and send only entries changed since then, with the
+  /// stable remainder interned as the base epoch id (one integer instead of
+  /// O(f) entries). Protocol semantics are bit-identical to the full
+  /// encoding — every omitted entry would have been a no-op replay at the
+  /// receiver — and the encoding-equivalence harness enforces it. OFF gives
+  /// the paper's canonical full encoding, kept as the semantic reference.
+  bool delta_queries{true};
+
+  /// Replay-window capacity of the change journal backing delta extraction;
+  /// peers whose acknowledgement falls behind the window get a full query
+  /// (the epoch-miss fallback). 0 = auto (max(1024, 4 * n)).
+  std::uint32_t delta_journal_capacity{0};
+
   /// Number of responses that terminate a query. Requires n >= 1 && f < n
   /// (DetectorCore rejects anything else at construction), so n - f >= 1
   /// and no lower clamp is needed; only the ablation knob extra_quorum is
@@ -82,10 +97,30 @@ class DetectorCore final : public FailureDetector {
 
   // --- T1: query issuing ---------------------------------------------------
 
-  /// Starts a new round and returns the QUERY to broadcast to all peers.
-  /// Requires the previous round (if any) to have been finish_round()ed:
-  /// a node issues a new query only after the previous one terminated.
+  /// Starts a new round and returns the QUERY to broadcast to all peers
+  /// (canonical full encoding). Requires the previous round (if any) to
+  /// have been finish_round()ed: a node issues a new query only after the
+  /// previous one terminated. Delta-mode hosts use begin_query() +
+  /// query_for(peer) instead, building one per-peer message.
   [[nodiscard]] QueryMessage start_query();
+
+  /// Starts a new round without building a message (the delta path).
+  void begin_query();
+
+  /// The canonical full query for the current round (self-contained; every
+  /// entry of both sets). Requires a round started this cycle.
+  [[nodiscard]] QueryMessage full_query() const;
+
+  /// True when `peer` must receive the full encoding this round: delta mode
+  /// off, nothing acknowledged yet, or its acknowledgement fell out of the
+  /// journal's replay window (epoch miss / requested resync). Hosts use
+  /// this to share one full payload across all such peers.
+  [[nodiscard]] bool full_query_needed(ProcessId peer) const;
+
+  /// The query to send `peer` this round: a delta against the epoch the
+  /// peer last acknowledged, or the full encoding when
+  /// full_query_needed(peer). Per-round results are memoized by base epoch.
+  [[nodiscard]] QueryMessage query_for(ProcessId peer);
 
   /// Feeds a RESPONSE. Returns true exactly once per round: when the quorum
   /// (n - f)th distinct response arrives and the query terminates. Stale
@@ -115,7 +150,8 @@ class DetectorCore final : public FailureDetector {
   [[nodiscard]] bool query_in_progress() const { return in_progress_; }
   [[nodiscard]] bool query_terminated() const { return terminated_; }
 
-  /// All responders of the current/last round so far (self included).
+  /// All responders of the current/last round so far (self included), in
+  /// arrival order.
   [[nodiscard]] std::span<const ProcessId> rec_from() const {
     return rec_from_;
   }
@@ -132,12 +168,30 @@ class DetectorCore final : public FailureDetector {
   /// Rounds completed (finish_round() calls).
   [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
 
+  // --- delta-encoding observers --------------------------------------------
+
+  /// Current state epoch (count of suspicion/mistake mutations).
+  [[nodiscard]] Epoch state_epoch() const { return delta_.epoch(); }
+
+  /// Highest of our epochs `peer` has acknowledged (0 = none).
+  [[nodiscard]] Epoch acked_epoch(ProcessId peer) const {
+    return delta_.acked(peer);
+  }
+
+  /// Highest epoch of `sender`'s state we have merged (0 = none).
+  [[nodiscard]] Epoch seen_epoch(ProcessId sender) const {
+    return delta_.seen(sender);
+  }
+
  private:
   void add_suspicion(ProcessId id, Tag tag);
   void add_mistake(ProcessId id, Tag tag);
   /// Largest tag attached to `id` in either set, if any. The sets are
   /// mutually exclusive, so this is simply the tag of the only entry.
+  /// O(1) via the dense mirror for id < n; binary search otherwise.
   [[nodiscard]] std::optional<Tag> local_tag(ProcessId id) const;
+  /// True iff `id`'s entry (if any) lives in the mistake set.
+  [[nodiscard]] bool is_mistake(ProcessId id) const;
 
   DetectorConfig config_;
   SuspicionObserver* observer_{nullptr};
@@ -145,14 +199,30 @@ class DetectorCore final : public FailureDetector {
   Tag counter_{0};
   TaggedSet suspected_;
   TaggedSet mistake_;
+  /// Dense O(1) mirror of the two sets for ids < n: the merge loop probes
+  /// local state once per received entry, and the sorted sets' binary
+  /// search + cache-miss chain dominated large-n profiles. Ids >= n (bogus
+  /// wire senders on the live path) fall back to the sets themselves.
+  /// kind: 0 = absent, 1 = suspected, 2 = mistake.
+  std::vector<Tag> dense_tag_;
+  std::vector<std::uint8_t> dense_kind_;
   std::vector<ProcessId> known_;  // sorted, excludes self
 
   QuerySeq seq_{0};
   bool in_progress_{false};
   bool terminated_{false};
-  std::vector<ProcessId> rec_from_;
+  std::vector<ProcessId> rec_from_;  // arrival order
+  std::vector<bool> responded_;      // per id < n: in rec_from_ this round
   std::vector<ProcessId> winning_;
   std::uint64_t rounds_{0};
+
+  // Delta encoding (maintained in every mode so flipping the flag or
+  // inspecting epochs is always valid; record() is O(1)). The watermark
+  // rules live in common::DeltaState, shared with SimpleDetectorCore.
+  DeltaState delta_;
+  /// Per-round memo of built queries, keyed by base epoch (0 = full): all
+  /// peers that acked the same epoch share one construction.
+  std::vector<std::pair<Epoch, QueryMessage>> round_queries_;
 };
 
 }  // namespace mmrfd::core

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
 namespace mmrfd::core {
 
 SimpleDetectorCore::SimpleDetectorCore(const SimpleDetectorConfig& config)
-    : config_(config), suspected_(config.n, false) {
+    : config_(config),
+      suspected_(config.n, false),
+      delta_(config.n, config.delta_journal_capacity) {
   if (config_.n < 1) {
     throw std::invalid_argument("SimpleDetectorConfig: n must be >= 1, got " +
                                 std::to_string(config_.n));
@@ -27,27 +30,61 @@ SimpleDetectorCore::SimpleDetectorCore(const SimpleDetectorConfig& config)
 }
 
 QueryMessage SimpleDetectorCore::start_query() {
+  begin_query();
+  return full_query();
+}
+
+void SimpleDetectorCore::begin_query() {
   assert(!in_progress_ || terminated_);
   ++seq_;
   in_progress_ = true;
   rec_from_.clear();
+  responded_.assign(config_.n, false);
   rec_from_.push_back(config_.self);
+  responded_[config_.self.value] = true;
   terminated_ = rec_from_.size() >= config_.quorum();
+  delta_.begin_round();
+}
 
+QueryMessage SimpleDetectorCore::full_query() const {
   QueryMessage q;
   q.seq = seq_;
+  q.epoch = config_.delta_queries ? delta_.sent_epoch() : 0;
   for (std::uint32_t i = 0; i < config_.n; ++i) {
-    if (suspected_[i]) q.suspected.push_back({ProcessId{i}, 0});
+    if (suspected_[i]) q.entries.push_back({ProcessId{i}, 0});
   }
+  q.suspected_count = static_cast<std::uint32_t>(q.entries.size());
+  return q;
+}
+
+bool SimpleDetectorCore::full_query_needed(ProcessId peer) const {
+  if (!config_.delta_queries) return true;
+  return delta_.full_needed(peer, suspect_count_);
+}
+
+QueryMessage SimpleDetectorCore::query_for(ProcessId peer) {
+  assert(in_progress_);
+  if (full_query_needed(peer)) return full_query();
+  QueryMessage q;
+  q.seq = seq_;
+  q.epoch = delta_.sent_epoch();
+  q.base_epoch = delta_.acked(peer);
+  q.set_delta(true);
+  for (ProcessId id : delta_.journal().changed_since(q.base_epoch)) {
+    if (suspected_[id.value]) q.entries.push_back({id, 0});
+  }
+  q.suspected_count = static_cast<std::uint32_t>(q.entries.size());
   return q;
 }
 
 bool SimpleDetectorCore::on_response(ProcessId from,
                                      const ResponseMessage& response) {
   if (!in_progress_ || response.seq != seq_) return false;
-  auto it = std::lower_bound(rec_from_.begin(), rec_from_.end(), from);
-  if (it != rec_from_.end() && *it == from) return false;
-  rec_from_.insert(it, from);
+  delta_.on_ack(from, response.ack_epoch, response.need_full);
+  if (from.value >= config_.n) return false;  // forged live-path sender
+  if (responded_[from.value]) return false;
+  responded_[from.value] = true;
+  rec_from_.push_back(from);
   // A response is direct evidence of life.
   set_suspected(from, false);
   if (!terminated_ && rec_from_.size() >= config_.quorum()) {
@@ -62,9 +99,7 @@ void SimpleDetectorCore::finish_round() {
   for (std::uint32_t i = 0; i < config_.n; ++i) {
     const ProcessId pj{i};
     if (pj == config_.self) continue;
-    if (!std::binary_search(rec_from_.begin(), rec_from_.end(), pj)) {
-      set_suspected(pj, true);
-    }
+    if (!responded_[i]) set_suspected(pj, true);
   }
   ++rounds_;
   in_progress_ = false;
@@ -74,9 +109,15 @@ ResponseMessage SimpleDetectorCore::on_query(ProcessId from,
                                              const QueryMessage& query) {
   // Direct evidence of life; the piggybacked sets are NOT merged — without
   // tags, adopting third-party suspicions would poison the detector with
-  // unorderable stale information.
-  set_suspected(from, false);
-  return ResponseMessage{query.seq};
+  // unorderable stale information. The epoch bookkeeping still runs so the
+  // sender's delta watermarks stay sound for any observer of the wire.
+  // A forged live-path sender id >= n indexes nothing (same guard as
+  // on_response).
+  if (from.value < config_.n) set_suspected(from, false);
+  const bool epoch_miss =
+      delta_.epoch_miss(from, query.is_delta(), query.base_epoch);
+  if (!epoch_miss) delta_.note_seen(from, query.epoch);
+  return ResponseMessage{query.seq, query.epoch, epoch_miss};
 }
 
 std::vector<ProcessId> SimpleDetectorCore::suspected() const {
@@ -95,6 +136,12 @@ void SimpleDetectorCore::set_suspected(ProcessId id, bool suspect) {
   assert(id != config_.self || !suspect);
   if (suspected_[id.value] == suspect) return;
   suspected_[id.value] = suspect;
+  if (suspect) {
+    ++suspect_count_;
+  } else {
+    --suspect_count_;
+  }
+  delta_.record(id);
   if (observer_ != nullptr) {
     if (suspect) {
       observer_->on_suspected(id, 0);

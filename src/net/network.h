@@ -127,6 +127,31 @@ class Network {
     });
   }
 
+  /// Sends an immutable shared payload from `from` to `to` — the unicast
+  /// sibling of broadcast()'s fan-out: the delivery event references the
+  /// caller's payload instead of owning a copy. Hosts use it to share one
+  /// full-encoding query across every peer that needs the fallback.
+  /// Loss/duplication/delay sampling order is identical to send(), so
+  /// fixed-seed schedules are bit-for-bit the same whichever path a host
+  /// picks.
+  void send_shared(ProcessId from, ProcessId to,
+                   std::shared_ptr<const Msg> payload) {
+    assert(!is_crashed(from));
+    assert(from == to || topology_.are_neighbors(from, to));
+    assert(payload != nullptr);
+    ++stats_.messages_sent;
+    if (size_fn_) stats_.bytes_sent += size_fn_(*payload);
+    if (loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_)) {
+      ++stats_.messages_dropped_loss;
+      return;
+    }
+    if (duplicate_rate_ > 0.0 && loss_rng_.bernoulli(duplicate_rate_)) {
+      ++stats_.messages_duplicated;
+      schedule_delivery(from, to, payload);
+    }
+    schedule_delivery(from, to, std::move(payload));
+  }
+
   /// Sends `msg` to every neighbor of `from` (excluding `from`: protocol
   /// cores account for their own copy locally, which also implements the
   /// paper's "its own response always arrives among the first" convention).

@@ -42,6 +42,7 @@ MmrCluster::MmrCluster(const MmrClusterConfig& config)
     hc.detector.f = config_.f;
     hc.detector.accept_late_responses = config_.accept_late_responses;
     hc.detector.extra_quorum = config_.extra_quorum;
+    hc.detector.delta_queries = config_.delta_queries;
     hc.pacing = config_.pacing;
     hc.pacing_jitter = config_.pacing_jitter;
     hc.jitter_seed = config_.seed;

@@ -54,6 +54,10 @@ struct MmrClusterConfig {
   /// Protocol knobs (see core::DetectorConfig).
   bool accept_late_responses{true};
   std::uint32_t extra_quorum{0};
+  /// Delta-encoded queries (ON = production default; OFF = the paper's
+  /// canonical full encoding, kept as the semantic reference the
+  /// encoding-equivalence harness diffs against).
+  bool delta_queries{true};
 };
 
 class MmrCluster {

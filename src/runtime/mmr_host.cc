@@ -35,11 +35,15 @@ void MmrHost::crash() {
 
 void MmrHost::begin_round() {
   if (crashed_) return;
-  core::QueryMessage q = core_.start_query();
-  // Move the query into the network's shared broadcast payload: one
-  // allocation per round shared by all n-1 delivery events, instead of a
-  // per-recipient copy of both tagged-entry vectors.
-  net_.broadcast(id(), MmrMessage{std::move(q)});
+  if (core_.config().delta_queries) {
+    delta_fan_out(net_, core_, id());
+  } else {
+    core::QueryMessage q = core_.start_query();
+    // Move the query into the network's shared broadcast payload: one
+    // allocation per round shared by all n-1 delivery events, instead of a
+    // per-recipient copy of the tagged-entry vector.
+    net_.broadcast(id(), MmrMessage{std::move(q)});
+  }
   // With f = n - 1 the quorum is the self-response alone and the query
   // terminates instantly.
   if (core_.query_terminated()) on_terminated();

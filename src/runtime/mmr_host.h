@@ -26,6 +26,32 @@ namespace mmrfd::runtime {
 using MmrMessage = std::variant<core::QueryMessage, core::ResponseMessage>;
 using MmrNetwork = net::Network<MmrMessage>;
 
+/// Per-peer delta-query fan-out shared by the simulated hosts (MmrHost,
+/// SimpleHost): starts the core's round, then sends each neighbor its
+/// (usually tiny) delta, with every peer needing the full fallback —
+/// nothing acked yet, or its ack fell out of the journal window (e.g. it
+/// crashed) — sharing ONE full payload, so the fallback costs one O(f)
+/// construction per round, not one per peer. Iterating neighbors in
+/// topology order keeps the per-recipient rng draws identical to
+/// broadcast(), so fixed-seed schedules match the full-encoding path bit
+/// for bit — the invariant the golden digests pin. `Core` needs
+/// begin_query / full_query_needed / full_query / query_for.
+template <typename Core>
+void delta_fan_out(MmrNetwork& net, Core& core, ProcessId self) {
+  core.begin_query();
+  std::shared_ptr<const MmrMessage> full;
+  for (ProcessId to : net.topology().neighbors(self)) {
+    if (core.full_query_needed(to)) {
+      if (!full) {
+        full = std::make_shared<const MmrMessage>(core.full_query());
+      }
+      net.send_shared(self, to, full);
+    } else {
+      net.send(self, to, MmrMessage{core.query_for(to)});
+    }
+  }
+}
+
 struct MmrHostConfig {
   core::DetectorConfig detector;
   /// Pacing Delta between a query's termination and the next query.

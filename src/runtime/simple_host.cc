@@ -1,6 +1,7 @@
 #include "runtime/simple_host.h"
 
 #include <cassert>
+#include <memory>
 
 namespace mmrfd::runtime {
 
@@ -30,8 +31,11 @@ void SimpleHost::crash() {
 
 void SimpleHost::begin_round() {
   if (crashed_) return;
-  const core::QueryMessage q = core_.start_query();
-  net_.broadcast(id(), q);
+  if (core_.config().delta_queries) {
+    delta_fan_out(net_, core_, id());
+  } else {
+    net_.broadcast(id(), MmrMessage{core_.start_query()});
+  }
   if (core_.query_terminated()) on_terminated();
 }
 

@@ -5,7 +5,17 @@
 // protocol message. Format: little-endian fixed-width integers, length-
 // prefixed sequences; every datagram is an envelope
 //   [u32 sender][u8 type][payload...]
-// Decoding is total: malformed input yields nullopt, never UB.
+// Query payload:
+//   [u64 seq][u8 flags][uvarint epoch if flags&kHasEpoch]
+//   [uvarint base_epoch if flags&kDelta][u32 suspected_count][u32 total]
+//   [total x (u32 id, u64 tag)]
+// A delta query (flags & kDelta) lists only entries changed since
+// base_epoch; the stable remainder of the sets travels as that one interned
+// integer. Response payload:
+//   [u64 seq][u8 flags][uvarint ack_epoch if flags&kHasAck]
+// Epoch fields are LEB128 varints (epochs count state changes — small for
+// most of a run, so the delta header costs single-digit bytes). Decoding is
+// total: malformed input yields nullopt, never UB.
 #pragma once
 
 #include <cstddef>
@@ -25,6 +35,8 @@ class Encoder {
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u32(std::uint32_t v);
   void u64(std::uint64_t v);
+  /// LEB128: 7 value bits per byte, high bit = continuation (1-10 bytes).
+  void uvarint(std::uint64_t v);
   void entries(std::span<const TaggedEntry> es);
 
   [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
@@ -41,6 +53,7 @@ class Decoder {
   [[nodiscard]] std::optional<std::uint8_t> u8();
   [[nodiscard]] std::optional<std::uint32_t> u32();
   [[nodiscard]] std::optional<std::uint64_t> u64();
+  [[nodiscard]] std::optional<std::uint64_t> uvarint();
   [[nodiscard]] std::optional<std::vector<TaggedEntry>> entries();
 
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
@@ -60,6 +73,9 @@ void encode(Encoder& e, const core::ResponseMessage& m);
 /// Exact wire size (envelope included) — the size_fn used by experiment E4.
 [[nodiscard]] std::size_t wire_size(const core::QueryMessage& m);
 [[nodiscard]] std::size_t wire_size(const core::ResponseMessage& m);
+
+/// Encoded length of a LEB128 varint.
+[[nodiscard]] std::size_t uvarint_size(std::uint64_t v);
 
 // --- envelopes ---------------------------------------------------------------
 

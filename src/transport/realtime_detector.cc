@@ -1,5 +1,8 @@
 #include "transport/realtime_detector.h"
 
+#include <utility>
+#include <vector>
+
 namespace mmrfd::transport {
 
 RealTimeDetector::RealTimeDetector(Transport& transport,
@@ -38,10 +41,53 @@ void RealTimeDetector::stop() {
 
 void RealTimeDetector::driver_loop() {
   std::unique_lock lock(mutex_);
+  std::vector<ProcessId> full_peers;
+  std::vector<std::pair<ProcessId, WireMessage>> deltas;
   while (!stopping_) {
-    const core::QueryMessage query = core_.start_query();
+    // Build the round's queries under the lock, send outside it. In delta
+    // mode each peer gets its own (usually tiny) message; peers whose
+    // acknowledgement lapsed — fresh peer, restart, journal overrun — all
+    // receive ONE shared full encoding (built once per round, like the
+    // simulated hosts' shared payload). Reference mode keeps the broadcast.
+    full_peers.clear();
+    deltas.clear();
+    const bool delta = core_.config().delta_queries;
+    WireMessage full;
+    if (delta) {
+      core_.begin_query();
+      bool full_built = false;
+      for (std::uint32_t i = 0; i < core_.config().n; ++i) {
+        const ProcessId to{i};
+        if (to == core_.config().self) continue;
+        if (core_.full_query_needed(to)) {
+          if (!full_built) {
+            full = WireMessage{core_.full_query()};
+            full_built = true;
+          }
+          full_peers.push_back(to);
+        } else {
+          deltas.emplace_back(to, WireMessage{core_.query_for(to)});
+        }
+      }
+    } else {
+      full = WireMessage{core_.start_query()};
+    }
     lock.unlock();
-    transport_.broadcast(WireMessage{query});
+    if (delta) {
+      // Peer order (full peers, then delta peers) is irrelevant here: real
+      // transports have no seeded schedule to preserve. When EVERY peer
+      // needs the full encoding (first round, mass resync), broadcast() it
+      // — the transport serializes a broadcast once, while per-peer send()
+      // re-encodes per call.
+      if (deltas.empty() && !full_peers.empty()) {
+        transport_.broadcast(full);
+      } else {
+        for (const ProcessId to : full_peers) transport_.send(to, full);
+        for (auto& [to, msg] : deltas) transport_.send(to, msg);
+      }
+    } else {
+      transport_.broadcast(full);
+    }
     lock.lock();
     // Wait for the quorum-th response (self counts already); re-checked on
     // every incoming response. No timeout: the protocol is time-free — the

@@ -55,7 +55,7 @@ TEST(DetectorCore, TiedTagMistakeRemergeIsNotAnEvent) {
   d.set_observer(&obs);
   QueryMessage in;
   in.seq = 1;
-  in.mistakes = {{ProcessId{2}, 5}};
+  in.push_mistake({ProcessId{2}, 5});
   (void)d.on_query(ProcessId{1}, in);
   EXPECT_EQ(obs.mistakes, 1);
   // The same entry arriving from other peers changes no state and must not
@@ -65,7 +65,7 @@ TEST(DetectorCore, TiedTagMistakeRemergeIsNotAnEvent) {
   (void)d.on_query(ProcessId{1}, in);
   EXPECT_EQ(obs.mistakes, 1);
   // A strictly newer mistake is a transition again.
-  in.mistakes = {{ProcessId{2}, 6}};
+  in.push_mistake({ProcessId{2}, 6});
   (void)d.on_query(ProcessId{1}, in);
   EXPECT_EQ(obs.mistakes, 2);
 }
@@ -90,15 +90,15 @@ TEST(DetectorCore, StartQueryCarriesCurrentSets) {
   // Seed some state through a received query.
   QueryMessage in;
   in.seq = 1;
-  in.suspected = {{ProcessId{2}, 5}};
-  in.mistakes = {{ProcessId{3}, 4}};
+  in.push_suspected({ProcessId{2}, 5});
+  in.push_mistake({ProcessId{3}, 4});
   (void)d.on_query(ProcessId{1}, in);
   const QueryMessage out = d.start_query();
   EXPECT_EQ(out.seq, 1u);
-  ASSERT_EQ(out.suspected.size(), 1u);
-  EXPECT_EQ(out.suspected[0], (TaggedEntry{ProcessId{2}, 5}));
-  ASSERT_EQ(out.mistakes.size(), 1u);
-  EXPECT_EQ(out.mistakes[0], (TaggedEntry{ProcessId{3}, 4}));
+  ASSERT_EQ(out.suspected().size(), 1u);
+  EXPECT_EQ(out.suspected()[0], (TaggedEntry{ProcessId{2}, 5}));
+  ASSERT_EQ(out.mistakes().size(), 1u);
+  EXPECT_EQ(out.mistakes()[0], (TaggedEntry{ProcessId{3}, 4}));
 }
 
 TEST(DetectorCore, SelfResponseCountsTowardQuorum) {
@@ -213,7 +213,7 @@ TEST(DetectorCore, MergeAdoptsUnknownSuspicion) {
   DetectorCore d(cfg(0, 5, 1));
   QueryMessage q;
   q.seq = 1;
-  q.suspected = {{ProcessId{2}, 7}};
+  q.push_suspected({ProcessId{2}, 7});
   const auto r = d.on_query(ProcessId{1}, q);
   EXPECT_EQ(r.seq, 1u);
   EXPECT_TRUE(d.is_suspected(ProcessId{2}));
@@ -224,11 +224,11 @@ TEST(DetectorCore, MergeIgnoresOlderSuspicion) {
   DetectorCore d(cfg(0, 5, 1));
   QueryMessage newer;
   newer.seq = 1;
-  newer.suspected = {{ProcessId{2}, 7}};
+  newer.push_suspected({ProcessId{2}, 7});
   (void)d.on_query(ProcessId{1}, newer);
   QueryMessage older;
   older.seq = 2;
-  older.suspected = {{ProcessId{2}, 3}};
+  older.push_suspected({ProcessId{2}, 3});
   (void)d.on_query(ProcessId{3}, older);
   EXPECT_EQ(d.suspected_set().tag_of(ProcessId{2}), 7u);
 }
@@ -238,16 +238,16 @@ TEST(DetectorCore, MergeIgnoresEqualTagSuspicion) {
   DetectorCore d(cfg(0, 5, 1));
   QueryMessage q;
   q.seq = 1;
-  q.suspected = {{ProcessId{2}, 7}};
+  q.push_suspected({ProcessId{2}, 7});
   (void)d.on_query(ProcessId{1}, q);
   QueryMessage q2;
   q2.seq = 1;
-  q2.mistakes = {{ProcessId{2}, 7}};
+  q2.push_mistake({ProcessId{2}, 7});
   (void)d.on_query(ProcessId{3}, q2);  // mistake with equal tag WINS (<=)
   EXPECT_FALSE(d.is_suspected(ProcessId{2}));
   QueryMessage q3;
   q3.seq = 2;
-  q3.suspected = {{ProcessId{2}, 7}};
+  q3.push_suspected({ProcessId{2}, 7});
   (void)d.on_query(ProcessId{1}, q3);  // suspicion with equal tag loses
   EXPECT_FALSE(d.is_suspected(ProcessId{2}));
   EXPECT_TRUE(d.mistake_set().contains(ProcessId{2}));
@@ -259,12 +259,12 @@ TEST(DetectorCore, MistakeTieBreakFavorsMistake) {
   DetectorCore d(cfg(0, 5, 1));
   QueryMessage susp;
   susp.seq = 1;
-  susp.suspected = {{ProcessId{3}, 4}};
+  susp.push_suspected({ProcessId{3}, 4});
   (void)d.on_query(ProcessId{1}, susp);
   EXPECT_TRUE(d.is_suspected(ProcessId{3}));
   QueryMessage mist;
   mist.seq = 1;
-  mist.mistakes = {{ProcessId{3}, 4}};
+  mist.push_mistake({ProcessId{3}, 4});
   (void)d.on_query(ProcessId{2}, mist);
   EXPECT_FALSE(d.is_suspected(ProcessId{3}));
   EXPECT_EQ(d.mistake_set().tag_of(ProcessId{3}), 4u);
@@ -274,11 +274,11 @@ TEST(DetectorCore, NewerSuspicionOverridesMistake) {
   DetectorCore d(cfg(0, 5, 1));
   QueryMessage mist;
   mist.seq = 1;
-  mist.mistakes = {{ProcessId{3}, 4}};
+  mist.push_mistake({ProcessId{3}, 4});
   (void)d.on_query(ProcessId{1}, mist);
   QueryMessage susp;
   susp.seq = 1;
-  susp.suspected = {{ProcessId{3}, 5}};
+  susp.push_suspected({ProcessId{3}, 5});
   (void)d.on_query(ProcessId{2}, susp);
   EXPECT_TRUE(d.is_suspected(ProcessId{3}));
   EXPECT_FALSE(d.mistake_set().contains(ProcessId{3}));
@@ -290,7 +290,7 @@ TEST(DetectorCore, SelfDefenceGeneratesDominatingMistake) {
   DetectorCore d(cfg(0, 5, 1));
   QueryMessage q;
   q.seq = 1;
-  q.suspected = {{ProcessId{0}, 9}};
+  q.push_suspected({ProcessId{0}, 9});
   (void)d.on_query(ProcessId{1}, q);
   EXPECT_FALSE(d.is_suspected(ProcessId{0}));
   ASSERT_TRUE(d.mistake_set().contains(ProcessId{0}));
@@ -298,19 +298,19 @@ TEST(DetectorCore, SelfDefenceGeneratesDominatingMistake) {
   EXPECT_GE(d.counter(), 10u);
   // The mistake rides the next query.
   const auto out = d.start_query();
-  ASSERT_EQ(out.mistakes.size(), 1u);
-  EXPECT_EQ(out.mistakes[0], (TaggedEntry{ProcessId{0}, 10}));
+  ASSERT_EQ(out.mistakes().size(), 1u);
+  EXPECT_EQ(out.mistakes()[0], (TaggedEntry{ProcessId{0}, 10}));
 }
 
 TEST(DetectorCore, SelfDefenceIgnoredWhenOwnMistakeNewer) {
   DetectorCore d(cfg(0, 5, 1));
   QueryMessage q;
   q.seq = 1;
-  q.suspected = {{ProcessId{0}, 9}};
+  q.push_suspected({ProcessId{0}, 9});
   (void)d.on_query(ProcessId{1}, q);  // mistake tag 10
   QueryMessage stale;
   stale.seq = 1;
-  stale.suspected = {{ProcessId{0}, 6}};
+  stale.push_suspected({ProcessId{0}, 6});
   (void)d.on_query(ProcessId{2}, stale);
   EXPECT_EQ(d.mistake_set().tag_of(ProcessId{0}), 10u);
 }
@@ -321,7 +321,7 @@ TEST(DetectorCore, FreshSuspicionDominatesLocalMistake) {
   DetectorCore d(cfg(0, 4, 1));
   QueryMessage mist;
   mist.seq = 1;
-  mist.mistakes = {{ProcessId{3}, 41}};
+  mist.push_mistake({ProcessId{3}, 41});
   (void)d.on_query(ProcessId{1}, mist);
   const auto q = d.start_query();
   (void)d.on_response(ProcessId{1}, ResponseMessage{q.seq});
@@ -342,13 +342,13 @@ TEST(DetectorCore, CounterNeverDecreases) {
       QueryMessage q;
       q.seq = static_cast<QuerySeq>(i);
       if (rng.bernoulli(0.5)) {
-        q.suspected = {{ProcessId{static_cast<std::uint32_t>(
+        q.push_suspected({ProcessId{static_cast<std::uint32_t>(
                             rng.next_below(4))},
-                        rng.next_below(100)}};
+                        rng.next_below(100)});
       } else {
-        q.mistakes = {{ProcessId{static_cast<std::uint32_t>(
+        q.push_mistake({ProcessId{static_cast<std::uint32_t>(
                            rng.next_below(4))},
-                       rng.next_below(100)}};
+                       rng.next_below(100)});
       }
       (void)d.on_query(ProcessId{1}, q);
     } else {
@@ -376,9 +376,9 @@ TEST(DetectorCore, SuspectedAndMistakeSetsDisjointUnderRandomMerges) {
           ProcessId{static_cast<std::uint32_t>(rng.next_below(8))},
           rng.next_below(50)};
       if (rng.bernoulli(0.5)) {
-        q.suspected.push_back(e);
+        q.push_suspected(e);
       } else {
-        q.mistakes.push_back(e);
+        q.push_mistake(e);
       }
     }
     const auto from =
@@ -408,11 +408,11 @@ TEST(DetectorCore, ObserverSeesTransitions) {
   d.set_observer(&rec);
   QueryMessage susp;
   susp.seq = 1;
-  susp.suspected = {{ProcessId{2}, 3}};
+  susp.push_suspected({ProcessId{2}, 3});
   (void)d.on_query(ProcessId{1}, susp);
   QueryMessage mist;
   mist.seq = 1;
-  mist.mistakes = {{ProcessId{2}, 5}};
+  mist.push_mistake({ProcessId{2}, 5});
   (void)d.on_query(ProcessId{1}, mist);
   ASSERT_EQ(rec.events.size(), 3u);
   EXPECT_EQ(rec.events[0], std::make_pair('S', 2u));
@@ -428,7 +428,7 @@ TEST(DetectorCore, TwoCoreConversationConverges) {
   // p1 believes p0 is suspect.
   QueryMessage seed;
   seed.seq = 99;
-  seed.suspected = {{ProcessId{0}, 9}};
+  seed.push_suspected({ProcessId{0}, 9});
   (void)d1.on_query(ProcessId{0}, seed);  // from a hypothetical third party
   // p1 queries p0.
   const auto q1 = d1.start_query();
@@ -453,6 +453,195 @@ TEST(DetectorCore, RoundsCompletedCounts) {
   EXPECT_EQ(d.rounds_completed(), 3u);
 }
 
+// --- delta encoding ----------------------------------------------------------
+
+DetectorConfig delta_cfg(std::uint32_t self, std::uint32_t n,
+                         std::uint32_t f) {
+  auto c = cfg(self, n, f);
+  c.delta_queries = true;
+  return c;
+}
+
+/// One terminated round at `d` where `responders` answer (echoing epochs as
+/// the wire would).
+void run_round(DetectorCore& d, std::initializer_list<std::uint32_t> responders) {
+  d.begin_query();
+  for (const std::uint32_t r : responders) {
+    ResponseMessage resp;
+    resp.seq = d.query_seq();
+    resp.ack_epoch = d.query_for(ProcessId{r}).epoch;
+    (void)d.on_response(ProcessId{r}, resp);
+  }
+  ASSERT_TRUE(d.query_terminated());
+  d.finish_round();
+}
+
+TEST(DetectorCore, FirstQueryToEveryPeerIsFull) {
+  DetectorCore d(delta_cfg(0, 4, 1));
+  d.begin_query();
+  for (std::uint32_t i = 1; i < 4; ++i) {
+    EXPECT_TRUE(d.full_query_needed(ProcessId{i})) << i;
+    EXPECT_FALSE(d.query_for(ProcessId{i}).is_delta()) << i;
+  }
+}
+
+TEST(DetectorCore, AckAdvancesWatermarkAndShrinksNextQuery) {
+  DetectorCore d(delta_cfg(0, 5, 2));
+  // Round 1: p3/p4 don't respond -> suspected. p1's ack covers the epoch of
+  // the (full) query it received... which was built BEFORE the suspicions.
+  run_round(d, {1, 2});
+  EXPECT_EQ(d.suspected().size(), 2u);
+  // Round 2: p1 acked epoch 0 (pre-suspicion state), so its query is still
+  // full. Its ack now covers the suspicions.
+  run_round(d, {1, 2});
+  // Round 3: nothing changed since p1's last ack -> empty delta.
+  d.begin_query();
+  ASSERT_FALSE(d.full_query_needed(ProcessId{1}));
+  const auto q = d.query_for(ProcessId{1});
+  EXPECT_TRUE(q.is_delta());
+  EXPECT_TRUE(q.entries.empty());
+  EXPECT_EQ(q.base_epoch, d.state_epoch());
+  // The full reference for the same round still carries both entries.
+  EXPECT_EQ(d.full_query().entries.size(), 2u);
+}
+
+TEST(DetectorCore, DeltaCarriesOnlyChangesSinceAck) {
+  DetectorCore d(delta_cfg(0, 6, 2));
+  run_round(d, {1, 2, 3, 4});  // p5 suspected
+  run_round(d, {1, 2, 3, 4});  // p1 acks the p5 suspicion
+  // New information arrives: p2 is excused elsewhere... a mistake about p4.
+  QueryMessage gossip;
+  gossip.seq = 9;
+  gossip.push_mistake({ProcessId{4}, 50});
+  (void)d.on_query(ProcessId{2}, gossip);
+  d.begin_query();
+  const auto q = d.query_for(ProcessId{1});
+  ASSERT_TRUE(q.is_delta());
+  // Only the mistake changed since p1's ack; the stable p5 suspicion is
+  // interned in base_epoch.
+  ASSERT_EQ(q.entries.size(), 1u);
+  EXPECT_TRUE(q.suspected().empty());
+  EXPECT_EQ(q.mistakes()[0], (TaggedEntry{ProcessId{4}, 50}));
+}
+
+TEST(DetectorCore, DeltaMergeMatchesFullMerge) {
+  // The same conversation through a delta-encoded and a full-encoded
+  // sender produces identical receiver state (the harness does this at
+  // cluster scale; this is the two-core minimal case).
+  DetectorCore sender_delta(delta_cfg(0, 4, 1));
+  auto full_cfg = cfg(0, 4, 1);
+  full_cfg.delta_queries = false;
+  DetectorCore sender_full(full_cfg);
+  DetectorCore rx_delta(delta_cfg(1, 4, 1));
+  DetectorCore rx_full(delta_cfg(1, 4, 1));
+  for (int round = 0; round < 4; ++round) {
+    for (DetectorCore* s : {&sender_delta, &sender_full}) {
+      s->begin_query();
+      DetectorCore& rx = (s == &sender_delta) ? rx_delta : rx_full;
+      const auto q = s->query_for(ProcessId{1});
+      const auto r = rx.on_query(ProcessId{0}, q);
+      (void)s->on_response(ProcessId{1}, r);
+      (void)s->on_response(ProcessId{2}, ResponseMessage{s->query_seq()});
+      s->finish_round();  // p3 never answers -> suspicion churn
+    }
+    ASSERT_EQ(rx_delta.suspected_set(), rx_full.suspected_set()) << round;
+    ASSERT_EQ(rx_delta.mistake_set(), rx_full.mistake_set()) << round;
+  }
+}
+
+TEST(DetectorCore, EpochMissTriggersNeedFullAndResync) {
+  DetectorCore d(delta_cfg(0, 4, 1));
+  run_round(d, {1, 2});  // p3 suspected
+  run_round(d, {1, 2});  // p1's ack covers it
+  d.begin_query();
+  ASSERT_FALSE(d.full_query_needed(ProcessId{1}));
+  const auto delta = d.query_for(ProcessId{1});
+  ASSERT_TRUE(delta.is_delta());
+  // A RESTARTED p1 (fresh core = lost state) receives the delta: it cannot
+  // claim the interned base it never saw, answers need_full, but still
+  // merges the (safe) entries it did receive.
+  DetectorCore fresh(delta_cfg(1, 4, 1));
+  const auto r = fresh.on_query(ProcessId{0}, delta);
+  EXPECT_TRUE(r.need_full);
+  EXPECT_EQ(fresh.seen_epoch(ProcessId{0}), 0u);  // not advanced
+  // The sender drops its watermark and resyncs with a full query.
+  (void)d.on_response(ProcessId{1}, r);
+  EXPECT_EQ(d.acked_epoch(ProcessId{1}), 0u);
+  (void)d.on_response(ProcessId{2}, ResponseMessage{d.query_seq()});
+  ASSERT_TRUE(d.query_terminated());
+  d.finish_round();
+  d.begin_query();
+  EXPECT_TRUE(d.full_query_needed(ProcessId{1}));
+  const auto full = d.query_for(ProcessId{1});
+  EXPECT_FALSE(full.is_delta());
+  const auto r2 = fresh.on_query(ProcessId{0}, full);
+  EXPECT_FALSE(r2.need_full);
+  EXPECT_EQ(fresh.seen_epoch(ProcessId{0}), full.epoch);
+  EXPECT_TRUE(fresh.is_suspected(ProcessId{3}));  // fully resynced
+}
+
+TEST(DetectorCore, JournalOverrunFallsBackToFull) {
+  auto c = delta_cfg(0, 4, 1);
+  c.delta_journal_capacity = 4;  // tiny replay window
+  DetectorCore d(c);
+  run_round(d, {1, 2});
+  run_round(d, {1, 2});
+  ASSERT_FALSE(d.full_query_needed(ProcessId{1}));
+  // p1 stops acking while state churns past the window (tag upgrades for
+  // p3 via gossip).
+  for (Tag t = 10; t < 30; ++t) {
+    QueryMessage gossip;
+    gossip.seq = t;
+    gossip.push_suspected({ProcessId{3}, t});
+    (void)d.on_query(ProcessId{2}, gossip);
+  }
+  d.begin_query();
+  EXPECT_TRUE(d.full_query_needed(ProcessId{1}));
+  EXPECT_FALSE(d.query_for(ProcessId{1}).is_delta());
+}
+
+TEST(DetectorCore, LaggingPeerGetsFullOnceDeltaWouldCostMore) {
+  // The cost guard: a peer whose ack lags by far more records than the sets
+  // hold gets the shared full encoding even while the journal still covers
+  // it (crashed peers stop acking and must not drag ever-longer suffix
+  // scans).
+  DetectorCore d(delta_cfg(0, 4, 1));
+  run_round(d, {1, 2});
+  run_round(d, {1, 2});
+  ASSERT_FALSE(d.full_query_needed(ProcessId{1}));
+  for (Tag t = 100; t < 200; ++t) {  // 100 changes, sets hold 1 entry
+    QueryMessage gossip;
+    gossip.seq = t;
+    gossip.push_suspected({ProcessId{3}, t});
+    (void)d.on_query(ProcessId{2}, gossip);
+  }
+  d.begin_query();
+  EXPECT_TRUE(d.full_query_needed(ProcessId{1}));
+}
+
+TEST(DetectorCore, ReferenceModeStaysEpochless) {
+  auto c = cfg(0, 4, 1);
+  c.delta_queries = false;
+  DetectorCore d(c);
+  const auto q = d.start_query();
+  EXPECT_EQ(q.epoch, 0u);
+  EXPECT_FALSE(q.is_delta());
+  EXPECT_TRUE(d.full_query_needed(ProcessId{1}));
+  // And its responses to epoch-less queries carry no ack.
+  QueryMessage in;
+  in.seq = 1;
+  const auto r = d.on_query(ProcessId{1}, in);
+  EXPECT_EQ(r.ack_epoch, 0u);
+  EXPECT_FALSE(r.need_full);
+}
+
+TEST(DetectorCore, ForgedSenderIdCannotJoinQuorum) {
+  DetectorCore d(delta_cfg(0, 4, 1));
+  d.begin_query();
+  EXPECT_FALSE(d.on_response(ProcessId{99}, ResponseMessage{d.query_seq()}));
+  EXPECT_EQ(d.rec_from().size(), 1u);  // self only
+}
+
 TEST(DetectorCore, PaperFigureOneScenario) {
   // The paper's illustration (adapted to full connectivity): B suspects A
   // with counter 5, C suspects A with counter 10; when the information meets,
@@ -462,10 +651,10 @@ TEST(DetectorCore, PaperFigureOneScenario) {
   DetectorCore dnode(cfg(3, 5, 1));
   QueryMessage fromB;
   fromB.seq = 1;
-  fromB.suspected = {{ProcessId{0}, 5}};
+  fromB.push_suspected({ProcessId{0}, 5});
   QueryMessage fromC;
   fromC.seq = 1;
-  fromC.suspected = {{ProcessId{0}, 10}};
+  fromC.push_suspected({ProcessId{0}, 10});
   // D hears B first, then C: upgrades 5 -> 10.
   (void)dnode.on_query(ProcessId{1}, fromB);
   EXPECT_EQ(dnode.suspected_set().tag_of(ProcessId{0}), 5u);

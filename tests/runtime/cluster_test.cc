@@ -7,9 +7,11 @@
 #include <cstdint>
 #include <set>
 #include <sstream>
+#include <variant>
 
 #include "core/properties.h"
 #include "metrics/analysis.h"
+#include "transport/codec.h"
 
 namespace mmrfd::runtime {
 namespace {
@@ -147,27 +149,35 @@ std::uint64_t digest(const MmrCluster& cluster) {
 TEST(MmrCluster, GoldenDigestPinnedAcrossRefactors) {
   // These digests were captured from the seed implementation (std::function
   // event heap, per-recipient message copies). Any substrate refactor —
-  // pooled event slab, shared-payload broadcast — must reproduce fixed-seed
-  // runs bit-for-bit: same EventLog, same message counts, same event count.
-  // If a change legitimately alters the schedule (e.g. a different rng draw
-  // order), recapture the constants and say so in the commit message.
-  {
+  // pooled event slab, shared-payload broadcast, delta-encoded queries —
+  // must reproduce fixed-seed runs bit-for-bit: same EventLog, same message
+  // counts, same event count. Each scenario runs in BOTH encodings and must
+  // hit the SAME pinned digest: the delta wire format may change what a
+  // query carries, never what the protocol does or when. If a change
+  // legitimately alters the schedule (e.g. a different rng draw order),
+  // recapture the constants and say so in the commit message.
+  for (const bool delta : {false, true}) {
     auto cfg = base_config(8, 2, 77);
     cfg.delay_preset = net::DelayPreset::kExponential;
+    cfg.delta_queries = delta;
     MmrCluster cluster(cfg);
     const auto plan =
         CrashPlan::uniform(2, 8, from_seconds(1), from_seconds(5), cfg.seed);
     cluster.start(plan);
     cluster.run_for(from_seconds(15));
-    EXPECT_EQ(golden::digest(cluster), 10770062877740138721ull);
-    EXPECT_EQ(cluster.network().stats().messages_sent, 11772u);
-    EXPECT_EQ(cluster.simulation().events_fired(), 12712u);
+    EXPECT_EQ(golden::digest(cluster), 10770062877740138721ull)
+        << "delta=" << delta;
+    EXPECT_EQ(cluster.network().stats().messages_sent, 11772u)
+        << "delta=" << delta;
+    EXPECT_EQ(cluster.simulation().events_fired(), 12712u)
+        << "delta=" << delta;
   }
-  {
+  for (const bool delta : {false, true}) {
     auto cfg = base_config(24, 6, 123);
     cfg.pacing_jitter = 0.25;
     cfg.mean_delay = from_millis(2);
     cfg.delay_preset = net::DelayPreset::kPareto;
+    cfg.delta_queries = delta;
     SpikeSpec spike;
     spike.start = from_seconds(4);
     spike.end = from_seconds(6);
@@ -180,14 +190,46 @@ TEST(MmrCluster, GoldenDigestPinnedAcrossRefactors) {
     cluster.start(plan);
     cluster.run_for(from_seconds(12));
     // Log digest recaptured once after the no-op-mistake dedup (observers
-    // now see mistake transitions only; the seed logged a kMistake per
+    // now see mistake *transitions*; the seed logged a kMistake per
     // tied-tag re-merge). messages_sent and events_fired are bit-identical
-    // to the seed implementation: the dedup changed what is *recorded*,
-    // never what the protocol does or when.
-    EXPECT_EQ(golden::digest(cluster), 14751400840057329436ull);
-    EXPECT_EQ(cluster.network().stats().messages_sent, 108754u);
-    EXPECT_EQ(cluster.simulation().events_fired(), 111223u);
+    // to the seed implementation: neither the dedup nor the delta encoding
+    // changes what the protocol does or when.
+    EXPECT_EQ(golden::digest(cluster), 14751400840057329436ull)
+        << "delta=" << delta;
+    EXPECT_EQ(cluster.network().stats().messages_sent, 108754u)
+        << "delta=" << delta;
+    EXPECT_EQ(cluster.simulation().events_fired(), 111223u)
+        << "delta=" << delta;
   }
+}
+
+TEST(MmrCluster, GoldenDeltaWireBytesPinned) {
+  // Pins the delta schedule's *wire cost* alongside the state digest: a
+  // future PR that silently grows the delta encoding (or breaks watermark
+  // advancement, degrading every query to the full fallback) moves these
+  // numbers even though the state digest stays put. Bytes are exact for a
+  // fixed seed — wire_size is a pure function of the messages sent.
+  auto run_bytes = [](bool delta) {
+    auto cfg = base_config(8, 2, 77);
+    cfg.delay_preset = net::DelayPreset::kExponential;
+    cfg.delta_queries = delta;
+    MmrCluster cluster(cfg);
+    cluster.network().set_size_fn([](const MmrMessage& m) {
+      return std::visit(
+          [](const auto& msg) { return transport::wire_size(msg); }, m);
+    });
+    const auto plan =
+        CrashPlan::uniform(2, 8, from_seconds(1), from_seconds(5), cfg.seed);
+    cluster.start(plan);
+    cluster.run_for(from_seconds(15));
+    return cluster.network().stats().bytes_sent;
+  };
+  const auto full_bytes = run_bytes(false);
+  const auto delta_bytes = run_bytes(true);
+  // Recapture both constants together if the wire format changes on purpose.
+  EXPECT_EQ(full_bytes, 332780u);
+  EXPECT_EQ(delta_bytes, 256105u);
+  EXPECT_LT(delta_bytes, full_bytes);
 }
 
 TEST(MmrCluster, DeterministicGivenSeed) {

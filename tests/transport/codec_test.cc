@@ -10,8 +10,9 @@ namespace {
 core::QueryMessage sample_query() {
   core::QueryMessage q;
   q.seq = 0x1122334455667788ULL;
-  q.suspected = {{ProcessId{1}, 7}, {ProcessId{3}, 99}};
-  q.mistakes = {{ProcessId{2}, 50}};
+  q.push_suspected({ProcessId{1}, 7});
+  q.push_suspected({ProcessId{3}, 99});
+  q.push_mistake({ProcessId{2}, 50});
   return q;
 }
 
@@ -45,8 +46,8 @@ TEST(Codec, EmptySetsRoundTrip) {
   Decoder d(bytes);
   const auto out = decode_query(d);
   ASSERT_TRUE(out.has_value());
-  EXPECT_TRUE(out->suspected.empty());
-  EXPECT_TRUE(out->mistakes.empty());
+  EXPECT_TRUE(out->suspected().empty());
+  EXPECT_TRUE(out->mistakes().empty());
 }
 
 TEST(Codec, EnvelopeRoundTripQuery) {
@@ -111,6 +112,155 @@ TEST(Codec, FuzzRandomBytesNeverCrash) {
   }
 }
 
+core::QueryMessage sample_delta() {
+  core::QueryMessage q;
+  q.seq = 42;
+  q.epoch = 900;
+  q.base_epoch = 123;
+  q.set_delta(true);
+  q.push_suspected({ProcessId{7}, 11});
+  q.push_mistake({ProcessId{1}, 12});
+  return q;
+}
+
+TEST(Codec, DeltaQueryRoundTrip) {
+  const auto out = decode_envelope(encode_envelope(ProcessId{3}, sample_delta()));
+  ASSERT_TRUE(out.has_value());
+  const auto& q = std::get<core::QueryMessage>(out->message);
+  EXPECT_EQ(q, sample_delta());
+  EXPECT_TRUE(q.is_delta());
+  EXPECT_EQ(q.epoch, 900u);
+  EXPECT_EQ(q.base_epoch, 123u);
+}
+
+TEST(Codec, EmptyDeltaRoundTrip) {
+  // The steady-state message: the whole stable suspected set interned as
+  // one base-epoch integer, zero entries on the wire.
+  core::QueryMessage q;
+  q.seq = 7;
+  q.epoch = 55;
+  q.base_epoch = 55;
+  q.set_delta(true);
+  const auto datagram = encode_envelope(ProcessId{0}, q);
+  EXPECT_EQ(datagram.size(), wire_size(q));
+  const auto out = decode_envelope(datagram);
+  ASSERT_TRUE(out.has_value());
+  const auto& back = std::get<core::QueryMessage>(out->message);
+  EXPECT_EQ(back, q);
+  EXPECT_TRUE(back.is_delta());
+  EXPECT_TRUE(back.suspected().empty());
+  EXPECT_TRUE(back.mistakes().empty());
+  // Compactness: envelope 5 + seq 8 + flags 1 + two 1-byte varints + two
+  // u32 counts = 24 bytes, independent of how large the interned set is.
+  EXPECT_EQ(datagram.size(), 24u);
+}
+
+TEST(Codec, ResponseAckRoundTrip) {
+  core::ResponseMessage r;
+  r.seq = 9;
+  r.ack_epoch = 1u << 20;  // 3-byte varint
+  r.need_full = true;
+  const auto datagram = encode_envelope(ProcessId{4}, r);
+  EXPECT_EQ(datagram.size(), wire_size(r));
+  const auto out = decode_envelope(datagram);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::get<core::ResponseMessage>(out->message), r);
+}
+
+TEST(Codec, WireSizeMatchesEncodedSizeForDeltaForms) {
+  for (const auto& q : {sample_delta(), sample_query()}) {
+    EXPECT_EQ(encode_envelope(ProcessId{0}, q).size(), wire_size(q));
+  }
+  core::ResponseMessage ack;
+  ack.seq = 1;
+  ack.ack_epoch = 1;
+  EXPECT_EQ(encode_envelope(ProcessId{0}, ack).size(), wire_size(ack));
+}
+
+TEST(Codec, UvarintEdgeValues) {
+  for (const std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{16383}, std::uint64_t{16384},
+        std::uint64_t{1} << 62, ~std::uint64_t{0}}) {
+    Encoder e;
+    e.uvarint(v);
+    const auto bytes = e.take();
+    EXPECT_EQ(bytes.size(), uvarint_size(v));
+    Decoder d(bytes);
+    const auto back = d.uvarint();
+    ASSERT_TRUE(back.has_value()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_TRUE(d.exhausted());
+  }
+}
+
+TEST(Codec, UvarintOverlongRejected) {
+  // 11 continuation bytes can encode nothing a u64 holds.
+  std::vector<std::uint8_t> junk(11, 0xFF);
+  Decoder d(junk);
+  EXPECT_FALSE(d.uvarint().has_value());
+  // A 10th byte carrying more than the final bit overflows u64.
+  std::vector<std::uint8_t> overflow(9, 0x80);
+  overflow.push_back(0x02);
+  Decoder d2(overflow);
+  EXPECT_FALSE(d2.uvarint().has_value());
+}
+
+TEST(Codec, TruncatedDeltaRejected) {
+  const auto datagram = encode_envelope(ProcessId{0}, sample_delta());
+  for (std::size_t cut = 0; cut < datagram.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(datagram.data(), cut);
+    EXPECT_FALSE(decode_envelope(prefix).has_value()) << "cut at " << cut;
+  }
+}
+
+TEST(Codec, LyingSuspectedSplitRejected) {
+  // suspected_count claiming more entries than the list carries is a
+  // malformed datagram, not a 0-length mistakes span.
+  core::QueryMessage q;
+  q.seq = 1;
+  q.push_suspected({ProcessId{2}, 3});
+  Encoder e;
+  e.u32(0);  // sender
+  e.u8(1);   // query
+  e.u64(q.seq);
+  e.u8(0);   // flags
+  e.u32(5);  // claims 5 suspected...
+  e.entries(q.entries);  // ...but carries 1 entry
+  const auto bytes = e.take();
+  EXPECT_FALSE(decode_envelope(bytes).has_value());
+}
+
+TEST(Codec, FuzzRoundTripRandomDeltas) {
+  Xoshiro256 rng(2077);
+  for (int i = 0; i < 500; ++i) {
+    core::QueryMessage q;
+    q.seq = rng.next();
+    q.epoch = rng.next_below(1u << 30);
+    if (rng.bernoulli(0.7)) {
+      q.set_delta(true);
+      q.base_epoch = rng.next_below(q.epoch + 1);
+    }
+    const auto ns = rng.next_below(6);
+    for (std::uint64_t k = 0; k < ns; ++k) {
+      q.push_suspected(
+          {ProcessId{static_cast<std::uint32_t>(rng.next_below(1000))},
+           rng.next()});
+    }
+    const auto nm = rng.next_below(6);
+    for (std::uint64_t k = 0; k < nm; ++k) {
+      q.push_mistake(
+          {ProcessId{static_cast<std::uint32_t>(rng.next_below(1000))},
+           rng.next()});
+    }
+    const auto datagram = encode_envelope(ProcessId{1}, q);
+    EXPECT_EQ(datagram.size(), wire_size(q));
+    const auto out = decode_envelope(datagram);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(std::get<core::QueryMessage>(out->message), q);
+  }
+}
+
 TEST(Codec, FuzzRoundTripRandomQueries) {
   Xoshiro256 rng(77);
   for (int i = 0; i < 500; ++i) {
@@ -118,13 +268,13 @@ TEST(Codec, FuzzRoundTripRandomQueries) {
     q.seq = rng.next();
     const auto ns = rng.next_below(20);
     for (std::uint64_t k = 0; k < ns; ++k) {
-      q.suspected.push_back(
+      q.push_suspected(
           {ProcessId{static_cast<std::uint32_t>(rng.next_below(1000))},
            rng.next()});
     }
     const auto nm = rng.next_below(20);
     for (std::uint64_t k = 0; k < nm; ++k) {
-      q.mistakes.push_back(
+      q.push_mistake(
           {ProcessId{static_cast<std::uint32_t>(rng.next_below(1000))},
            rng.next()});
     }

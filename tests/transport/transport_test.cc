@@ -172,7 +172,7 @@ TEST(UdpTransport, LoopbackRoundTrip) {
   }
   core::QueryMessage q;
   q.seq = 3;
-  q.suspected = {{ProcessId{1}, 9}};
+  q.push_suspected({ProcessId{1}, 9});
   typed0.send(ProcessId{1}, q);
   EXPECT_TRUE(eventually([&] { return got.load() == 1; }));
   typed0.stop();
