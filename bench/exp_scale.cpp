@@ -173,11 +173,13 @@ ScaleResult run_config(const ScaleConfig& c, Duration horizon, Duration pacing,
 /// (the configs are embarrassingly parallel; one process per config also
 /// returns each run's slab/log memory to the OS the moment it finishes).
 /// Results arrive over per-child pipes and land at their config's index, so
-/// the output order is identical to the serial path. Returns false if any
-/// child failed.
-bool run_forked(const std::vector<ScaleConfig>& configs, Duration horizon,
-                Duration pacing, bool with_spike, std::size_t jobs,
-                std::vector<ScaleResult>& results) {
+/// the output order is identical to the serial path. Returns 0 when every
+/// child succeeded; otherwise the first failing child's exit status (or
+/// 128 + signal for a signalled child), so the sweep's exit code carries
+/// the real failure instead of a generic 1.
+int run_forked(const std::vector<ScaleConfig>& configs, Duration horizon,
+               Duration pacing, bool with_spike, std::size_t jobs,
+               std::vector<ScaleResult>& results) {
   struct Child {
     pid_t pid{-1};
     int fd{-1};
@@ -185,7 +187,7 @@ bool run_forked(const std::vector<ScaleConfig>& configs, Duration horizon,
   };
   std::vector<Child> active;
   std::size_t next = 0;
-  bool ok = true;
+  int rc = 0;
 
   auto spawn = [&](std::size_t index) {
     int fds[2];
@@ -220,9 +222,9 @@ bool run_forked(const std::vector<ScaleConfig>& configs, Duration horizon,
   };
 
   while (next < configs.size() || !active.empty()) {
-    while (ok && next < configs.size() && active.size() < jobs) {
+    while (rc == 0 && next < configs.size() && active.size() < jobs) {
       if (!spawn(next)) {
-        ok = false;
+        rc = 1;
         break;
       }
       ++next;
@@ -247,13 +249,26 @@ bool run_forked(const std::vector<ScaleConfig>& configs, Duration horizon,
     if (child_ok) {
       results[it->index] = r;
     } else {
+      // Propagate what actually happened: the child's own exit status, a
+      // signal death as 128 + signo (shell convention), or 1 for a clean
+      // exit that still short-wrote its result. First failure wins.
+      int child_rc = 1;
+      if (WIFEXITED(status) && WEXITSTATUS(status) != 0) {
+        child_rc = WEXITSTATUS(status);
+      } else if (WIFSIGNALED(status)) {
+        child_rc = 128 + WTERMSIG(status);
+      }
       std::cerr << "exp_scale: worker for n=" << configs[it->index].n
-                << " seed=" << configs[it->index].seed << " failed\n";
-      ok = false;
+                << " seed=" << configs[it->index].seed << " failed ("
+                << (WIFSIGNALED(status)
+                        ? "signal " + std::to_string(WTERMSIG(status))
+                        : "exit " + std::to_string(WEXITSTATUS(status)))
+                << ")\n";
+      if (rc == 0) rc = child_rc;
     }
     active.erase(it);
   }
-  return ok;
+  return rc;
 }
 #endif  // MMRFD_HAVE_FORK
 
@@ -390,7 +405,10 @@ int main(int argc, char** argv) {
   const bool spike = args.get_bool("spike");
 #if MMRFD_HAVE_FORK
   if (jobs > 1) {
-    if (!run_forked(configs, horizon, pacing, spike, jobs, results)) return 1;
+    if (const int rc = run_forked(configs, horizon, pacing, spike, jobs, results);
+        rc != 0) {
+      return rc;
+    }
   } else
 #endif
   {

@@ -1,0 +1,5 @@
+// mmrfd-node — one live failure-detector process. See node_runtime.h; the
+// supervisor and exp_live fork/exec this binary in numbers.
+#include "live/node_runtime.h"
+
+int main(int argc, char** argv) { return mmrfd::live::node_main(argc, argv); }

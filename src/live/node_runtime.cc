@@ -1,0 +1,205 @@
+#include "live/node_runtime.h"
+
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/argparse.h"
+#include "core/failure_detector.h"
+#include "live/report.h"
+#include "metrics/event_log.h"
+#include "transport/realtime_detector.h"
+#include "transport/reliable.h"
+#include "transport/typed_transport.h"
+#include "transport/udp_transport.h"
+
+namespace mmrfd::live {
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+/// Collects suspicion transitions stamped with wall-clock ns since the run
+/// origin. Callbacks arrive with the detector mutex held; this observer
+/// only touches its own lock and never calls back into the detector.
+class RecordingObserver final : public core::SuspicionObserver {
+ public:
+  explicit RecordingObserver(std::uint64_t origin_ns) : origin_ns_(origin_ns) {}
+
+  void on_suspected(ProcessId subject, Tag tag) override {
+    add(subject, metrics::SuspicionEventKind::kSuspected, tag);
+  }
+  void on_cleared(ProcessId subject, Tag tag) override {
+    add(subject, metrics::SuspicionEventKind::kCleared, tag);
+  }
+  void on_mistake(ProcessId subject, Tag tag) override {
+    add(subject, metrics::SuspicionEventKind::kMistake, tag);
+  }
+
+  [[nodiscard]] std::vector<ReportEvent> snapshot() const {
+    std::lock_guard lock(mutex_);
+    return events_;
+  }
+
+ private:
+  void add(ProcessId subject, metrics::SuspicionEventKind kind, Tag tag) {
+    const std::uint64_t now = wall_clock_ns();
+    std::lock_guard lock(mutex_);
+    events_.push_back(ReportEvent{now > origin_ns_ ? now - origin_ns_ : 0,
+                                  subject.value,
+                                  static_cast<std::uint8_t>(kind), tag});
+  }
+
+  std::uint64_t origin_ns_;
+  mutable std::mutex mutex_;
+  std::vector<ReportEvent> events_;
+};
+
+}  // namespace
+
+int node_main(int argc, const char* const* argv) {
+  ArgParser args(
+      "mmrfd-node: one live failure-detector process on loopback UDP "
+      "(spawned in numbers by live::Supervisor / exp_live)");
+  args.flag("self", "0", "this process's id in [0, n)")
+      .flag("n", "0", "cluster size")
+      .flag("f", "0", "max crashes tolerated (quorum = n - f)")
+      .flag("base-port", "39000", "UDP port of node 0 (node i binds +i)")
+      .flag("pacing-ms", "100", "inter-query pacing Delta (ms)")
+      .flag("delta", "true", "delta-encode queries")
+      .flag("reliable", "false", "stack ReliableDatagram under the codec")
+      .flag("rcvbuf", "0", "socket buffer bytes (0 = auto-scale with n)")
+      .flag("report", "", "binary NodeReport path (empty = no reports)")
+      .flag("flush-ms", "200", "report snapshot interval (ms)")
+      .flag("origin-ns", "0",
+            "wall-clock origin (UNIX ns) event timestamps are relative to "
+            "(0 = this process's start)")
+      .flag("run-s", "0", "exit after this many seconds (0 = until SIGTERM)");
+  if (!args.parse(argc, argv)) return 2;
+
+  const auto n = static_cast<std::uint32_t>(args.get_int("n"));
+  const auto self = static_cast<std::uint32_t>(args.get_int("self"));
+  const auto f = static_cast<std::uint32_t>(args.get_int("f"));
+  if (n < 2 || self >= n || f >= n) {
+    std::cerr << "mmrfd-node: need n >= 2, self < n, f < n (got n=" << n
+              << " self=" << self << " f=" << f << ")\n";
+    return 2;
+  }
+  const std::string report_path = args.get("report");
+  const std::uint64_t origin_ns =
+      args.get_int("origin-ns") > 0
+          ? static_cast<std::uint64_t>(args.get_int("origin-ns"))
+          : wall_clock_ns();
+
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+
+  transport::UdpConfig ucfg;
+  ucfg.self = ProcessId{self};
+  ucfg.n = n;
+  ucfg.base_port = static_cast<std::uint16_t>(args.get_int("base-port"));
+  ucfg.socket_buffer_bytes =
+      static_cast<std::uint32_t>(args.get_int("rcvbuf"));
+  transport::UdpTransport udp(ucfg);
+
+  const bool reliable = args.get_bool("reliable");
+  std::optional<transport::ReliableDatagram> reliable_layer;
+  transport::DatagramTransport* datagrams = &udp;
+  if (reliable) {
+    reliable_layer.emplace(udp, transport::ReliableConfig{});
+    datagrams = &*reliable_layer;
+  }
+  transport::TypedTransport typed(*datagrams);
+
+  transport::RealTimeConfig rcfg;
+  rcfg.detector.self = ProcessId{self};
+  rcfg.detector.n = n;
+  rcfg.detector.f = f;
+  rcfg.detector.delta_queries = args.get_bool("delta");
+  rcfg.pacing = from_millis(static_cast<double>(args.get_int("pacing-ms")));
+  transport::RealTimeDetector detector(typed, rcfg);
+  RecordingObserver observer(origin_ns);
+  detector.set_observer(&observer);
+
+  try {
+    detector.start();
+  } catch (const std::exception& e) {
+    std::cerr << "mmrfd-node " << self << ": start failed: " << e.what()
+              << "\n";
+    return 1;
+  }
+
+  const auto write_snapshot = [&] {
+    NodeReport r;
+    r.self = self;
+    r.n = n;
+    r.f = f;
+    r.delta = rcfg.detector.delta_queries;
+    r.reliable = reliable;
+    r.pacing_ns = static_cast<std::uint64_t>(rcfg.pacing.count());
+    r.origin_ns = origin_ns;
+    const std::uint64_t now = wall_clock_ns();
+    r.snapshot_ns = now > origin_ns ? now - origin_ns : 0;
+    r.rounds = detector.rounds_completed();
+    const transport::RealTimeStats ds = detector.stats();
+    r.full_queries_sent = ds.full_queries_sent;
+    r.delta_queries_sent = ds.delta_queries_sent;
+    r.queries_received = ds.queries_received;
+    r.responses_received = ds.responses_received;
+    r.responses_sent = ds.responses_sent;
+    r.need_full_sent = ds.need_full_sent;
+    r.need_full_received = ds.need_full_received;
+    r.query_bytes_sent = ds.query_bytes_sent;
+    r.response_bytes_sent = ds.response_bytes_sent;
+    const transport::UdpStats us = udp.stats();
+    r.datagrams_received = us.datagrams_received;
+    r.bytes_received = us.bytes_received;
+    r.truncated = us.truncated;
+    r.recv_errors = us.recv_errors;
+    r.rcvbuf_bytes = us.rcvbuf_bytes;
+    r.malformed = typed.malformed_count();
+    if (reliable_layer) {
+      const transport::ReliableStats rs = reliable_layer->stats();
+      r.retransmissions = rs.retransmissions;
+      r.gave_up = rs.gave_up;
+      r.duplicates = rs.duplicates;
+    }
+    for (const ProcessId id : detector.suspected()) {
+      r.suspected.push_back(id.value);
+    }
+    r.events = observer.snapshot();
+    if (!write_report_file(r, report_path)) {
+      std::cerr << "mmrfd-node " << self << ": cannot write report "
+                << report_path << "\n";
+    }
+  };
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto flush_every =
+      std::chrono::milliseconds(args.get_int("flush-ms"));
+  const auto run_for = std::chrono::seconds(args.get_int("run-s"));
+  auto last_flush = started;
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const auto now = std::chrono::steady_clock::now();
+    if (run_for.count() > 0 && now - started >= run_for) break;
+    if (!report_path.empty() && now - last_flush >= flush_every) {
+      write_snapshot();
+      last_flush = now;
+    }
+  }
+
+  detector.stop();
+  if (!report_path.empty()) write_snapshot();
+  return 0;
+}
+
+}  // namespace mmrfd::live

@@ -1,0 +1,18 @@
+// The per-process detector daemon behind the mmrfd-node binary: one
+// DetectorCore over UdpTransport (optionally through ReliableDatagram),
+// paced by wall clock, periodically snapshotting a live::NodeReport and
+// flushing a final one on SIGTERM/SIGINT or when --run-s elapses.
+//
+// Kept as a library entry point (rather than code in the binary) so the
+// supervisor, the live experiment and the integration tests all exec the
+// exact same runtime, and so argv parsing is unit-testable.
+#pragma once
+
+namespace mmrfd::live {
+
+/// Entry point of the mmrfd-node binary. Returns the process exit code:
+/// 0 clean shutdown, 1 runtime failure (e.g. port already bound), 2 bad
+/// arguments. Installs SIGTERM/SIGINT handlers.
+int node_main(int argc, const char* const* argv);
+
+}  // namespace mmrfd::live

@@ -1,0 +1,180 @@
+#include "live/report.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "transport/codec.h"
+
+namespace mmrfd::live {
+
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'M', 'M', 'R', 'L'};
+constexpr std::uint32_t kVersion = 1;
+
+// Decode-side allocation caps. A report is trusted input in the happy path
+// (we wrote it), but a SIGKILL can leave stale files from older runs and the
+// supervisor must never let a garbage length field drive an allocation.
+constexpr std::uint64_t kMaxSuspected = 1u << 20;
+constexpr std::uint64_t kMaxEvents = 1u << 26;
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_report(const NodeReport& r) {
+  transport::Encoder e;
+  for (const std::uint8_t b : kMagic) e.u8(b);
+  e.u32(kVersion);
+  e.u32(r.self);
+  e.u32(r.n);
+  e.u32(r.f);
+  e.u8(r.delta ? 1 : 0);
+  e.u8(r.reliable ? 1 : 0);
+  e.u64(r.pacing_ns);
+  e.u64(r.origin_ns);
+  e.u64(r.snapshot_ns);
+  e.u64(r.rounds);
+  e.u64(r.full_queries_sent);
+  e.u64(r.delta_queries_sent);
+  e.u64(r.queries_received);
+  e.u64(r.responses_received);
+  e.u64(r.responses_sent);
+  e.u64(r.need_full_sent);
+  e.u64(r.need_full_received);
+  e.u64(r.query_bytes_sent);
+  e.u64(r.response_bytes_sent);
+  e.u64(r.datagrams_received);
+  e.u64(r.bytes_received);
+  e.u64(r.truncated);
+  e.u64(r.recv_errors);
+  e.u64(r.rcvbuf_bytes);
+  e.u64(r.malformed);
+  e.u64(r.retransmissions);
+  e.u64(r.gave_up);
+  e.u64(r.duplicates);
+  e.u32(static_cast<std::uint32_t>(r.suspected.size()));
+  for (const std::uint32_t id : r.suspected) e.u32(id);
+  e.u32(static_cast<std::uint32_t>(r.events.size()));
+  for (const ReportEvent& ev : r.events) {
+    e.u64(ev.when_ns);
+    e.u32(ev.subject);
+    e.u8(ev.kind);
+    e.u64(ev.tag);
+  }
+  return e.take();
+}
+
+std::optional<NodeReport> decode_report(std::span<const std::uint8_t> data) {
+  transport::Decoder d(data);
+  for (const std::uint8_t b : kMagic) {
+    const auto got = d.u8();
+    if (!got || *got != b) return std::nullopt;
+  }
+  const auto version = d.u32();
+  if (!version || *version != kVersion) return std::nullopt;
+
+  NodeReport r;
+  const auto u32_into = [&](std::uint32_t& out) {
+    const auto v = d.u32();
+    if (v) out = *v;
+    return v.has_value();
+  };
+  const auto u64_into = [&](std::uint64_t& out) {
+    const auto v = d.u64();
+    if (v) out = *v;
+    return v.has_value();
+  };
+  if (!u32_into(r.self) || !u32_into(r.n) || !u32_into(r.f)) {
+    return std::nullopt;
+  }
+  const auto delta = d.u8();
+  const auto reliable = d.u8();
+  if (!delta || !reliable) return std::nullopt;
+  r.delta = *delta != 0;
+  r.reliable = *reliable != 0;
+  for (std::uint64_t* field :
+       {&r.pacing_ns, &r.origin_ns, &r.snapshot_ns, &r.rounds,
+        &r.full_queries_sent, &r.delta_queries_sent, &r.queries_received,
+        &r.responses_received, &r.responses_sent, &r.need_full_sent,
+        &r.need_full_received, &r.query_bytes_sent, &r.response_bytes_sent,
+        &r.datagrams_received, &r.bytes_received, &r.truncated,
+        &r.recv_errors, &r.rcvbuf_bytes, &r.malformed, &r.retransmissions,
+        &r.gave_up, &r.duplicates}) {
+    if (!u64_into(*field)) return std::nullopt;
+  }
+  // Length fields are checked against the bytes actually present (4 per
+  // suspected id, 21 per event) BEFORE reserving: a garbage count in a
+  // corrupt file must fail the decode, not drive a giant allocation.
+  const auto suspected_count = d.u32();
+  if (!suspected_count || *suspected_count > kMaxSuspected ||
+      *suspected_count > data.size() / 4) {
+    return std::nullopt;
+  }
+  r.suspected.reserve(*suspected_count);
+  for (std::uint32_t i = 0; i < *suspected_count; ++i) {
+    const auto id = d.u32();
+    if (!id) return std::nullopt;
+    r.suspected.push_back(*id);
+  }
+  const auto event_count = d.u32();
+  if (!event_count || *event_count > kMaxEvents ||
+      *event_count > data.size() / 21) {
+    return std::nullopt;
+  }
+  r.events.reserve(*event_count);
+  for (std::uint32_t i = 0; i < *event_count; ++i) {
+    ReportEvent ev;
+    const auto when = d.u64();
+    const auto subject = d.u32();
+    const auto kind = d.u8();
+    const auto tag = d.u64();
+    if (!when || !subject || !kind.has_value() || !tag) return std::nullopt;
+    ev.when_ns = *when;
+    ev.subject = *subject;
+    ev.kind = *kind;
+    ev.tag = *tag;
+    r.events.push_back(ev);
+  }
+  if (!d.exhausted()) return std::nullopt;  // trailing garbage
+  return r;
+}
+
+bool write_report_file(const NodeReport& r, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = encode_report(r);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return false;
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t wall_clock_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+std::optional<NodeReport> read_report_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(is)), std::istreambuf_iterator<char>());
+  if (!is.good() && !is.eof()) return std::nullopt;
+  return decode_report(bytes);
+}
+
+}  // namespace mmrfd::live

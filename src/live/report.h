@@ -1,0 +1,97 @@
+// Binary per-node run reports — the observability half of the live-cluster
+// subsystem.
+//
+// Each mmrfd-node process periodically snapshots its counters and suspicion
+// history to one file; the supervisor aggregates the files after the run.
+// The format is write-once binary (transport::Encoder primitives) because a
+// node can die by SIGKILL at any instant: writes go to a temp file renamed
+// into place, so a reader sees either the previous complete snapshot or the
+// next one, never a torn file. Timestamps are wall-clock nanoseconds since
+// a shared origin instant the supervisor hands every node, which makes
+// events comparable across processes on one host.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mmrfd::live {
+
+/// One suspicion transition observed by a node. `kind` mirrors
+/// metrics::SuspicionEventKind (0 suspected, 1 cleared, 2 mistake).
+struct ReportEvent {
+  std::uint64_t when_ns{0};  ///< ns since the run origin
+  std::uint32_t subject{0};
+  std::uint8_t kind{0};
+  std::uint64_t tag{0};
+
+  friend bool operator==(const ReportEvent&, const ReportEvent&) = default;
+};
+
+/// Everything one node incarnation knows about its own run. Cumulative: a
+/// later snapshot supersedes an earlier one at the same path.
+struct NodeReport {
+  // --- identity / configuration -------------------------------------------
+  std::uint32_t self{0};
+  std::uint32_t n{0};
+  std::uint32_t f{0};
+  bool delta{true};
+  bool reliable{false};
+  std::uint64_t pacing_ns{0};
+  std::uint64_t origin_ns{0};    ///< UNIX ns all timestamps are relative to
+  std::uint64_t snapshot_ns{0};  ///< write instant, ns since origin
+
+  // --- protocol counters (transport::RealTimeStats) ------------------------
+  std::uint64_t rounds{0};
+  std::uint64_t full_queries_sent{0};
+  std::uint64_t delta_queries_sent{0};
+  std::uint64_t queries_received{0};
+  std::uint64_t responses_received{0};
+  std::uint64_t responses_sent{0};
+  std::uint64_t need_full_sent{0};
+  std::uint64_t need_full_received{0};
+  std::uint64_t query_bytes_sent{0};
+  std::uint64_t response_bytes_sent{0};
+
+  // --- wire counters (UdpStats + codec + reliability layer) ----------------
+  std::uint64_t datagrams_received{0};
+  std::uint64_t bytes_received{0};
+  std::uint64_t truncated{0};
+  std::uint64_t recv_errors{0};
+  std::uint64_t rcvbuf_bytes{0};
+  std::uint64_t malformed{0};
+  std::uint64_t retransmissions{0};
+  std::uint64_t gave_up{0};
+  std::uint64_t duplicates{0};
+
+  // --- state ---------------------------------------------------------------
+  std::vector<std::uint32_t> suspected;  ///< final suspected set at snapshot
+  std::vector<ReportEvent> events;       ///< full transition history
+
+  friend bool operator==(const NodeReport&, const NodeReport&) = default;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode_report(const NodeReport& r);
+
+/// Total decode: malformed or truncated input yields nullopt, never UB and
+/// never an unbounded allocation.
+[[nodiscard]] std::optional<NodeReport> decode_report(
+    std::span<const std::uint8_t> data);
+
+/// Atomic snapshot write (temp file + rename). Returns false on any I/O
+/// failure; the previous snapshot at `path`, if any, survives a failure.
+[[nodiscard]] bool write_report_file(const NodeReport& r,
+                                     const std::string& path);
+
+/// Reads and decodes one report file; nullopt if missing or malformed.
+[[nodiscard]] std::optional<NodeReport> read_report_file(
+    const std::string& path);
+
+/// Current wall clock as UNIX nanoseconds — THE clock of the live
+/// subsystem. Node event stamps and the supervisor's crash stamps must be
+/// subtracted from each other, so both sides use this one helper.
+[[nodiscard]] std::uint64_t wall_clock_ns();
+
+}  // namespace mmrfd::live

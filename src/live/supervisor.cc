@@ -1,0 +1,327 @@
+#include "live/supervisor.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include "common/log.h"
+#include "metrics/analysis.h"
+#include "metrics/event_log.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::live {
+
+std::string default_node_binary() {
+  if (const char* env = std::getenv("MMRFD_NODE_BIN");
+      env != nullptr && *env != '\0') {
+    return env;
+  }
+  std::error_code ec;
+  const auto exe = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) {
+    const auto dir = exe.parent_path();
+    for (const char* rel :
+         {"mmrfd-node", "../src/live/mmrfd-node", "../../src/live/mmrfd-node"}) {
+      const auto candidate = dir / rel;
+      if (std::filesystem::exists(candidate, ec)) {
+        const auto canonical = std::filesystem::weakly_canonical(candidate, ec);
+        return ec ? candidate.string() : canonical.string();
+      }
+    }
+  }
+  return "mmrfd-node";  // last resort: PATH
+}
+
+Supervisor::Supervisor(SupervisorConfig config) : config_(std::move(config)) {
+  if (config_.n < 2 || config_.f >= config_.n) {
+    throw std::invalid_argument("Supervisor: need n >= 2 and f < n");
+  }
+  if (config_.report_dir.empty()) {
+    throw std::invalid_argument("Supervisor: report_dir is required");
+  }
+  node_binary_ = config_.node_binary.empty() ? default_node_binary()
+                                             : config_.node_binary;
+}
+
+std::string Supervisor::report_path(ProcessId id, int incarnation) const {
+  return config_.report_dir + "/node" + std::to_string(id.value) + ".g" +
+         std::to_string(incarnation) + ".bin";
+}
+
+void Supervisor::spawn(Proc& p) {
+  const std::string report = report_path(p.id, p.spawns);
+  std::error_code ec;
+  std::filesystem::remove(report, ec);  // never harvest a stale run's file
+
+  std::vector<std::string> argstrs = {
+      node_binary_,
+      "--self=" + std::to_string(p.id.value),
+      "--n=" + std::to_string(config_.n),
+      "--f=" + std::to_string(config_.f),
+      "--base-port=" + std::to_string(config_.base_port),
+      "--pacing-ms=" +
+          std::to_string(config_.pacing.count() / 1'000'000),
+      "--delta=" + std::string(config_.delta ? "true" : "false"),
+      "--reliable=" + std::string(config_.reliable ? "true" : "false"),
+      "--rcvbuf=" + std::to_string(config_.rcvbuf),
+      "--report=" + report,
+      "--flush-ms=" + std::to_string(config_.flush.count() / 1'000'000),
+      "--origin-ns=" + std::to_string(origin_ns_),
+  };
+  std::vector<char*> argv;
+  argv.reserve(argstrs.size() + 1);
+  for (std::string& s : argstrs) argv.push_back(s.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error("Supervisor: fork failed");
+  }
+  if (pid == 0) {
+    ::execv(node_binary_.c_str(), argv.data());
+    _exit(127);  // exec failure: reported to the parent as an exit status
+  }
+  p.pid = pid;
+  p.alive = true;
+  ++p.spawns;
+  p.report_paths.push_back(report);
+}
+
+LiveRunResult Supervisor::run(const std::vector<CrashEvent>& schedule,
+                              Duration horizon) {
+  std::error_code ec;
+  std::filesystem::create_directories(config_.report_dir, ec);
+  if (ec) {
+    throw std::runtime_error("Supervisor: cannot create report dir " +
+                             config_.report_dir);
+  }
+  for (const CrashEvent& e : schedule) {
+    if (e.victim.value >= config_.n) {
+      throw std::invalid_argument("Supervisor: crash victim out of range");
+    }
+  }
+
+  origin_ns_ = wall_clock_ns();
+  LiveRunResult result;
+  result.horizon = horizon;
+
+  std::vector<Proc> procs(config_.n);
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    procs[i].id = ProcessId{i};
+  }
+  const auto kill_everything = [&] {
+    for (Proc& p : procs) {
+      if (p.alive && p.pid > 0) ::kill(p.pid, SIGKILL);
+    }
+    for (Proc& p : procs) {
+      if (p.alive && p.pid > 0) {
+        int status = 0;
+        ::waitpid(p.pid, &status, 0);
+        p.alive = false;
+      }
+    }
+  };
+  try {
+    for (Proc& p : procs) spawn(p);
+  } catch (...) {
+    kill_everything();
+    throw;
+  }
+
+  struct PendingCrash {
+    CrashEvent event;
+    bool killed{false};
+    bool restarted{false};
+    std::size_t crash_index{0};
+  };
+  std::vector<PendingCrash> pending;
+  pending.reserve(schedule.size());
+  for (const CrashEvent& e : schedule) pending.push_back({e, false, false, 0});
+
+  // An exit is "unexpected" only while the run is live and the node was
+  // neither SIGKILLed by the schedule nor SIGTERMed by the shutdown path.
+  // Reaps strictly per-pid: a waitpid(-1) here would steal exit statuses
+  // from any OTHER children the embedding process happens to have.
+  const auto reap = [&] {
+    for (Proc& p : procs) {
+      if (!p.alive || p.pid <= 0) continue;
+      int status = 0;
+      if (::waitpid(p.pid, &status, WNOHANG) != p.pid) continue;
+      p.alive = false;
+      if (!p.planned_kill && !p.graceful) {
+        ++result.unexpected_exits;
+        MMRFD_LOG_WARN("live") << "node " << p.id
+                               << " exited unexpectedly (status " << status
+                               << ")";
+      }
+    }
+  };
+
+  const auto started = std::chrono::steady_clock::now();
+  const auto elapsed = [&] {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::steady_clock::now() - started);
+  };
+  // The scheduling loop can throw (a restart re-spawn hitting fork
+  // exhaustion); never leak a running cluster of children past run().
+  try {
+  while (elapsed() < horizon) {
+    reap();
+    const Duration now = elapsed();
+    for (PendingCrash& pc : pending) {
+      if (!pc.killed && pc.event.at <= now) {
+        Proc& victim = procs[pc.event.victim.value];
+        victim.planned_kill = true;
+        if (victim.alive && victim.pid > 0) ::kill(victim.pid, SIGKILL);
+        pc.killed = true;
+        // Stamp the kill in the same wall-clock frame the nodes stamp their
+        // events in, so Analysis subtracts like from like.
+        pc.crash_index = result.crashes.size();
+        result.crashes.push_back(
+            {pc.event.victim, Duration{static_cast<std::int64_t>(
+                                  wall_clock_ns() - origin_ns_)},
+             false});
+      }
+      if (pc.killed && !pc.restarted && pc.event.restart_at &&
+          *pc.event.restart_at <= now) {
+        Proc& victim = procs[pc.event.victim.value];
+        if (!victim.alive) {
+          spawn(victim);
+          // The new incarnation is a regular cluster member again: if IT
+          // dies (exec failure, bind failure), that must count as an
+          // unexpected exit, not hide behind the earlier planned kill.
+          victim.planned_kill = false;
+          pc.restarted = true;
+          result.crashes[pc.crash_index].restarted = true;
+        }
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  } catch (...) {
+    kill_everything();
+    throw;
+  }
+
+  // Graceful shutdown: SIGTERM triggers each node's final report flush.
+  reap();
+  for (Proc& p : procs) {
+    if (p.alive && p.pid > 0) {
+      p.graceful = true;
+      ::kill(p.pid, SIGTERM);
+    }
+  }
+  const auto term_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < term_deadline) {
+    reap();
+    if (std::none_of(procs.begin(), procs.end(),
+                     [](const Proc& p) { return p.alive; })) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (Proc& p : procs) {
+    if (p.alive && p.pid > 0) {
+      MMRFD_LOG_WARN("live") << "node " << p.id
+                             << " ignored SIGTERM; killing";
+      p.graceful = false;
+      ::kill(p.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(p.pid, &status, 0);
+      p.alive = false;
+    }
+  }
+
+  aggregate(procs, horizon, result);
+  return result;
+}
+
+void Supervisor::aggregate(std::vector<Proc>& procs, Duration horizon,
+                           LiveRunResult& result) const {
+  // Harvest: one NodeReport per incarnation file. A SIGKILLed incarnation
+  // contributes its last periodic snapshot — or nothing, legitimately, if
+  // it died before its first flush. Only an incarnation that survived to
+  // the SIGTERM shutdown (graceful) is *required* to have a report: its
+  // absence is a real aggregation failure and is counted.
+  for (Proc& p : procs) {
+    LiveNodeOutcome outcome;
+    outcome.id = p.id;
+    outcome.spawns = p.spawns;
+    outcome.planned_kill = p.planned_kill;
+    for (std::size_t g = 0; g < p.report_paths.size(); ++g) {
+      if (auto r = read_report_file(p.report_paths[g])) {
+        outcome.reports.push_back(std::move(*r));
+      } else if (p.graceful && g + 1 == p.report_paths.size()) {
+        ++outcome.missing_reports;
+        MMRFD_LOG_WARN("live")
+            << "missing/unreadable report " << p.report_paths[g];
+      }
+    }
+    result.missing_reports += outcome.missing_reports;
+    result.nodes.push_back(std::move(outcome));
+  }
+
+  // Merge every report's transition history into one time-ordered stream
+  // and reuse the simulator's analysis verbatim: faulty processes (the kill
+  // victims) are excluded as observers by Analysis itself.
+  sim::Simulation clock_source;  // never advanced; EventLog only needs a ref
+  metrics::EventLog log(clock_source);
+  std::vector<metrics::SuspicionEvent> events;
+  for (const LiveNodeOutcome& node : result.nodes) {
+    for (const NodeReport& r : node.reports) {
+      for (const ReportEvent& ev : r.events) {
+        if (ev.kind > 2 || ev.subject >= config_.n) continue;
+        events.push_back(metrics::SuspicionEvent{
+            Duration{static_cast<std::int64_t>(ev.when_ns)}, node.id,
+            ProcessId{ev.subject},
+            static_cast<metrics::SuspicionEventKind>(ev.kind), ev.tag});
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const metrics::SuspicionEvent& a,
+                      const metrics::SuspicionEvent& b) {
+                     return a.when < b.when;
+                   });
+  for (const metrics::SuspicionEvent& ev : events) log.append(ev);
+  for (const LiveCrash& c : result.crashes) {
+    log.record_crash_at(c.victim, c.at);
+  }
+
+  const metrics::Analysis analysis(log, config_.n, horizon);
+  for (const metrics::Detection& d : analysis.detections()) {
+    if (const auto latency = d.latency()) {
+      result.detection_latencies.add(to_seconds(*latency));
+    }
+  }
+  result.strong_completeness = analysis.strong_completeness();
+  result.false_suspicions = analysis.false_suspicions().size();
+
+  for (const LiveNodeOutcome& node : result.nodes) {
+    for (const NodeReport& r : node.reports) {
+      result.rounds += r.rounds;
+      result.full_queries_sent += r.full_queries_sent;
+      result.delta_queries_sent += r.delta_queries_sent;
+      result.need_full_sent += r.need_full_sent;
+      result.need_full_received += r.need_full_received;
+      result.query_bytes_sent += r.query_bytes_sent;
+      result.response_bytes_sent += r.response_bytes_sent;
+      result.datagrams_received += r.datagrams_received;
+      result.truncated += r.truncated;
+      result.recv_errors += r.recv_errors;
+      result.malformed += r.malformed;
+      result.retransmissions += r.retransmissions;
+      result.gave_up += r.gave_up;
+    }
+  }
+}
+
+}  // namespace mmrfd::live

@@ -1,0 +1,146 @@
+// live::Supervisor — fork/exec orchestration of a loopback mmrfd-node
+// cluster: the piece that turns the per-process daemon into an experiment
+// platform. It spawns n real OS processes, drives a crash/recovery schedule
+// by SIGKILLing (and optionally re-execing) nodes at planned wall-clock
+// offsets, monitors child liveness, and after the run aggregates every
+// node's binary report through the existing metrics::Analysis — so live
+// detection latency, false suspicions and message cost are computed by the
+// same code as the simulated experiments.
+//
+// Crash semantics: SIGKILL is a faithful crash-stop (no flush, no goodbye);
+// what survives of a victim's history is its last periodic report snapshot.
+// A restart re-execs the same node id with fresh state, which is exactly
+// the state-loss scenario the delta encoding's need_full resync exists for.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "live/report.h"
+
+namespace mmrfd::live {
+
+/// One planned fault: SIGKILL `victim` at `at` (relative to run start) and,
+/// if `restart_at` is set, re-exec it with fresh state at that offset.
+struct CrashEvent {
+  ProcessId victim;
+  Duration at{kTimeZero};
+  std::optional<Duration> restart_at;
+};
+
+struct SupervisorConfig {
+  std::uint32_t n{0};
+  std::uint32_t f{0};
+  std::uint16_t base_port{40000};
+  Duration pacing{from_millis(100)};
+  bool delta{true};
+  bool reliable{false};
+  std::uint32_t rcvbuf{0};          ///< per-node socket buffer (0 = auto)
+  Duration flush{from_millis(200)}; ///< node report snapshot interval
+  std::string node_binary;          ///< empty = default_node_binary()
+  std::string report_dir;           ///< created if missing
+};
+
+/// Wall-clock record of one kill actually performed.
+struct LiveCrash {
+  ProcessId victim;
+  Duration at{kTimeZero};  ///< actual SIGKILL instant, ns since origin
+  bool restarted{false};
+};
+
+/// Per-node outcome: one NodeReport per incarnation that produced one.
+struct LiveNodeOutcome {
+  ProcessId id;
+  std::vector<NodeReport> reports;
+  int spawns{0};
+  bool planned_kill{false};
+  std::size_t missing_reports{0};
+};
+
+struct LiveRunResult {
+  Duration horizon{kTimeZero};
+  std::vector<LiveNodeOutcome> nodes;
+  std::vector<LiveCrash> crashes;
+  std::size_t unexpected_exits{0};
+  std::size_t missing_reports{0};
+
+  // Aggregates computed by metrics::Analysis over the merged event stream.
+  SampleSet detection_latencies;  ///< seconds, per (crash, correct observer)
+  bool strong_completeness{false};
+  std::size_t false_suspicions{0};
+
+  // Counter totals across every report (all incarnations).
+  std::uint64_t rounds{0};
+  std::uint64_t full_queries_sent{0};
+  std::uint64_t delta_queries_sent{0};
+  std::uint64_t need_full_sent{0};
+  std::uint64_t need_full_received{0};
+  std::uint64_t query_bytes_sent{0};
+  std::uint64_t response_bytes_sent{0};
+  std::uint64_t datagrams_received{0};
+  std::uint64_t truncated{0};
+  std::uint64_t recv_errors{0};
+  std::uint64_t malformed{0};
+  std::uint64_t retransmissions{0};
+  std::uint64_t gave_up{0};
+
+  [[nodiscard]] std::uint64_t queries_sent() const {
+    return full_queries_sent + delta_queries_sent;
+  }
+  [[nodiscard]] double bytes_per_query() const {
+    return queries_sent() > 0 ? static_cast<double>(query_bytes_sent) /
+                                    static_cast<double>(queries_sent())
+                              : 0.0;
+  }
+};
+
+/// Resolves the mmrfd-node binary: $MMRFD_NODE_BIN if set, else candidates
+/// relative to this executable's directory (covering build/tests, build/bench
+/// and build/src/live layouts), else "mmrfd-node" relying on PATH.
+[[nodiscard]] std::string default_node_binary();
+
+class Supervisor {
+ public:
+  explicit Supervisor(SupervisorConfig config);
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Runs one full experiment: spawns the cluster, executes `schedule`,
+  /// SIGTERM-stops everything at `horizon`, harvests and aggregates the
+  /// reports. Blocking; throws std::runtime_error when the cluster cannot
+  /// be spawned. Reaps every child it created before returning.
+  [[nodiscard]] LiveRunResult run(const std::vector<CrashEvent>& schedule,
+                                  Duration horizon);
+
+ private:
+  struct Proc {
+    ProcessId id;
+    pid_t pid{-1};
+    bool alive{false};
+    int spawns{0};
+    bool planned_kill{false};
+    /// Last incarnation survived to the SIGTERM shutdown, so its final
+    /// report flush is expected (a SIGKILLed incarnation may legitimately
+    /// have no report yet).
+    bool graceful{false};
+    std::vector<std::string> report_paths;  // one per incarnation
+  };
+
+  void spawn(Proc& p);
+  [[nodiscard]] std::string report_path(ProcessId id, int incarnation) const;
+  void aggregate(std::vector<Proc>& procs, Duration horizon,
+                 LiveRunResult& result) const;
+
+  SupervisorConfig config_;
+  std::string node_binary_;
+  std::uint64_t origin_ns_{0};
+};
+
+}  // namespace mmrfd::live

@@ -45,6 +45,18 @@ class EventLog {
               Tag tag);
   void record_crash(ProcessId subject);
 
+  /// Appends a pre-stamped event. The live-cluster path aggregates wall-
+  /// clock-stamped transitions out of per-process node reports, where the
+  /// simulation clock has no meaning; callers are responsible for feeding
+  /// events in time order (sort before appending a merged stream).
+  void append(const SuspicionEvent& event) { events_.push_back(event); }
+
+  /// Records a crash at an explicit instant (live path: the supervisor's
+  /// actual SIGKILL time).
+  void record_crash_at(ProcessId subject, TimePoint when) {
+    crashes_.push_back(CrashRecord{subject, when});
+  }
+
   [[nodiscard]] const std::vector<SuspicionEvent>& events() const {
     return events_;
   }

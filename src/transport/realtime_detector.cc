@@ -22,7 +22,16 @@ void RealTimeDetector::start() {
     running_ = true;
     stopping_ = false;
   }
-  transport_.start();
+  try {
+    transport_.start();
+  } catch (...) {
+    // Bind/socket failure is a routine live-path event (occupied port).
+    // Roll back so the destructor's stop() does not try to join a thread
+    // that was never started — that would terminate() the process.
+    std::lock_guard lock(mutex_);
+    running_ = false;
+    throw;
+  }
   driver_ = std::thread([this] { driver_loop(); });
 }
 
@@ -33,7 +42,7 @@ void RealTimeDetector::stop() {
     stopping_ = true;
   }
   quorum_cv_.notify_all();
-  driver_.join();
+  if (driver_.joinable()) driver_.join();
   transport_.stop();
   std::lock_guard lock(mutex_);
   running_ = false;
@@ -73,6 +82,10 @@ void RealTimeDetector::driver_loop() {
       full = WireMessage{core_.start_query()};
     }
     lock.unlock();
+    const auto query_size = [](const WireMessage& m) {
+      return static_cast<std::uint64_t>(
+          wire_size(std::get<core::QueryMessage>(m)));
+    };
     if (delta) {
       // Peer order (full peers, then delta peers) is irrelevant here: real
       // transports have no seeded schedule to preserve. When EVERY peer
@@ -85,14 +98,58 @@ void RealTimeDetector::driver_loop() {
         for (const ProcessId to : full_peers) transport_.send(to, full);
         for (auto& [to, msg] : deltas) transport_.send(to, msg);
       }
+      if (!full_peers.empty()) {
+        full_queries_sent_.fetch_add(full_peers.size(),
+                                     std::memory_order_relaxed);
+        query_bytes_sent_.fetch_add(query_size(full) * full_peers.size(),
+                                    std::memory_order_relaxed);
+      }
+      delta_queries_sent_.fetch_add(deltas.size(), std::memory_order_relaxed);
+      for (const auto& [to, msg] : deltas) {
+        query_bytes_sent_.fetch_add(query_size(msg),
+                                    std::memory_order_relaxed);
+      }
     } else {
       transport_.broadcast(full);
+      const std::uint64_t peers = core_.config().n - 1;
+      full_queries_sent_.fetch_add(peers, std::memory_order_relaxed);
+      query_bytes_sent_.fetch_add(query_size(full) * peers,
+                                  std::memory_order_relaxed);
     }
     lock.lock();
     // Wait for the quorum-th response (self counts already); re-checked on
-    // every incoming response. No timeout: the protocol is time-free — the
-    // only exits are quorum or shutdown.
-    quorum_cv_.wait(lock, [&] { return stopping_ || core_.query_terminated(); });
+    // every incoming response. The protocol stays time-free — the only
+    // exits are quorum or shutdown — but every `resend` interval without
+    // quorum we re-issue the round's query to the peers still silent, as a
+    // self-contained full encoding (unconditionally mergeable, no journal
+    // base to miss). That restores the reliable-channel assumption the
+    // model makes and a kernel UDP path does not.
+    while (!stopping_ && !core_.query_terminated()) {
+      if (quorum_cv_.wait_for(lock, config_.resend, [&] {
+            return stopping_ || core_.query_terminated();
+          })) {
+        break;
+      }
+      const std::uint32_t n = core_.config().n;
+      std::vector<bool> responded(n, false);
+      for (const ProcessId p : core_.rec_from()) {
+        if (p.value < n) responded[p.value] = true;
+      }
+      std::vector<ProcessId> silent;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (ProcessId{i} != core_.config().self && !responded[i]) {
+          silent.push_back(ProcessId{i});
+        }
+      }
+      if (silent.empty()) continue;  // termination raced the timeout
+      const WireMessage refresh{core_.full_query()};
+      lock.unlock();
+      for (const ProcessId to : silent) transport_.send(to, refresh);
+      full_queries_sent_.fetch_add(silent.size(), std::memory_order_relaxed);
+      query_bytes_sent_.fetch_add(query_size(refresh) * silent.size(),
+                                  std::memory_order_relaxed);
+      lock.lock();
+    }
     if (stopping_) return;
     // Pacing window: late responses keep flowing into rec_from meanwhile.
     quorum_cv_.wait_for(lock, config_.pacing, [&] { return stopping_; });
@@ -103,13 +160,24 @@ void RealTimeDetector::driver_loop() {
 
 void RealTimeDetector::on_datagram(ProcessId from, const WireMessage& msg) {
   if (const auto* q = std::get_if<core::QueryMessage>(&msg)) {
+    queries_received_.fetch_add(1, std::memory_order_relaxed);
     core::ResponseMessage response;
     {
       std::lock_guard lock(mutex_);
       response = core_.on_query(from, *q);
     }
+    if (response.need_full) {
+      need_full_sent_.fetch_add(1, std::memory_order_relaxed);
+    }
+    responses_sent_.fetch_add(1, std::memory_order_relaxed);
+    response_bytes_sent_.fetch_add(wire_size(response),
+                                   std::memory_order_relaxed);
     transport_.send(from, WireMessage{response});
   } else if (const auto* r = std::get_if<core::ResponseMessage>(&msg)) {
+    responses_received_.fetch_add(1, std::memory_order_relaxed);
+    if (r->need_full) {
+      need_full_received_.fetch_add(1, std::memory_order_relaxed);
+    }
     bool terminated = false;
     {
       std::lock_guard lock(mutex_);
@@ -117,6 +185,26 @@ void RealTimeDetector::on_datagram(ProcessId from, const WireMessage& msg) {
     }
     if (terminated) quorum_cv_.notify_all();
   }
+}
+
+void RealTimeDetector::set_observer(core::SuspicionObserver* observer) {
+  std::lock_guard lock(mutex_);
+  core_.set_observer(observer);
+}
+
+RealTimeStats RealTimeDetector::stats() const {
+  RealTimeStats s;
+  s.full_queries_sent = full_queries_sent_.load(std::memory_order_relaxed);
+  s.delta_queries_sent = delta_queries_sent_.load(std::memory_order_relaxed);
+  s.queries_received = queries_received_.load(std::memory_order_relaxed);
+  s.responses_received = responses_received_.load(std::memory_order_relaxed);
+  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
+  s.need_full_sent = need_full_sent_.load(std::memory_order_relaxed);
+  s.need_full_received = need_full_received_.load(std::memory_order_relaxed);
+  s.query_bytes_sent = query_bytes_sent_.load(std::memory_order_relaxed);
+  s.response_bytes_sent =
+      response_bytes_sent_.load(std::memory_order_relaxed);
+  return s;
 }
 
 std::vector<ProcessId> RealTimeDetector::suspected() const {

@@ -10,7 +10,9 @@
 // any contention concern at protocol rates.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -24,6 +26,39 @@ struct RealTimeConfig {
   core::DetectorConfig detector;
   /// Inter-query pacing Delta (wall clock).
   Duration pacing{from_millis(100)};
+  /// Loss recovery for real (unreliable) transports: while a query is short
+  /// of quorum, re-issue it to the still-silent peers at this interval. The
+  /// paper's model assumes reliable channels; a lost datagram (startup race
+  /// — a peer's socket not bound yet — or receive-buffer overflow under
+  /// fan-in) would otherwise wedge the round FOREVER, because the time-free
+  /// protocol never re-sends on its own. Re-issuing is idempotent (same
+  /// seq; responders are deduplicated) and carries no failure judgement —
+  /// this is retransmission, not a timeout.
+  Duration resend{from_millis(500)};
+};
+
+/// Protocol/wire counters of one live detector, all monotone since start().
+/// The live-cluster node reports are built from these — they are the per-
+/// process ground truth the supervisor aggregates (bytes/query, delta-vs-
+/// full sends, need_full resyncs).
+struct RealTimeStats {
+  std::uint64_t full_queries_sent{0};   ///< per-peer full encodings sent
+  std::uint64_t delta_queries_sent{0};  ///< per-peer delta encodings sent
+  std::uint64_t queries_received{0};
+  std::uint64_t responses_received{0};
+  std::uint64_t responses_sent{0};
+  /// Responses we sent with need_full set: we received a delta whose base we
+  /// never acknowledged (state loss/restart) and asked the peer to resync us.
+  std::uint64_t need_full_sent{0};
+  /// Responses we received with need_full set: a peer asked us for a full
+  /// resync, and we dropped its watermark.
+  std::uint64_t need_full_received{0};
+  /// Codec-level bytes (envelope included) of the messages handed to the
+  /// transport. A ReliableDatagram underneath adds its own 13-byte framing
+  /// and re-sends whole datagrams on loss — that extra traffic is accounted
+  /// in ReliableStats, not here.
+  std::uint64_t query_bytes_sent{0};
+  std::uint64_t response_bytes_sent{0};
 };
 
 class RealTimeDetector final : public core::FailureDetector {
@@ -39,11 +74,19 @@ class RealTimeDetector final : public core::FailureDetector {
   /// Stops the loop and the transport. Idempotent.
   void stop();
 
+  /// Registers a suspicion-transition observer (forwarded to the core).
+  /// Call before start(); callbacks fire with the detector mutex held, so
+  /// the observer must not call back into this detector.
+  void set_observer(core::SuspicionObserver* observer);
+
   [[nodiscard]] std::vector<ProcessId> suspected() const override;
   [[nodiscard]] bool is_suspected(ProcessId id) const override;
 
   /// Rounds completed so far (monotone; for liveness checks in tests).
   [[nodiscard]] std::uint64_t rounds_completed() const;
+
+  /// Snapshot of the wire/protocol counters. Thread-safe, lock-free.
+  [[nodiscard]] RealTimeStats stats() const;
 
  private:
   void driver_loop();
@@ -58,6 +101,19 @@ class RealTimeDetector final : public core::FailureDetector {
   bool running_{false};
   bool stopping_{false};
   std::thread driver_;
+
+  // Counters are atomics, not mutex-guarded state: the driver thread bumps
+  // the tx side outside the core lock (sends happen unlocked) and stats()
+  // must stay callable from report-flush threads without contending.
+  std::atomic<std::uint64_t> full_queries_sent_{0};
+  std::atomic<std::uint64_t> delta_queries_sent_{0};
+  std::atomic<std::uint64_t> queries_received_{0};
+  std::atomic<std::uint64_t> responses_received_{0};
+  std::atomic<std::uint64_t> responses_sent_{0};
+  std::atomic<std::uint64_t> need_full_sent_{0};
+  std::atomic<std::uint64_t> need_full_received_{0};
+  std::atomic<std::uint64_t> query_bytes_sent_{0};
+  std::atomic<std::uint64_t> response_bytes_sent_{0};
 };
 
 }  // namespace mmrfd::transport

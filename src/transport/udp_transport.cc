@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cerrno>
 #include <cstring>
@@ -16,6 +17,7 @@
 namespace mmrfd::transport {
 
 namespace {
+
 sockaddr_in peer_address(std::uint16_t base_port, ProcessId id) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -23,6 +25,21 @@ sockaddr_in peer_address(std::uint16_t base_port, ProcessId id) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   return addr;
 }
+
+#if defined(__linux__)
+constexpr std::size_t kRecvBatch = 16;
+#else
+constexpr std::size_t kRecvBatch = 1;
+#endif
+
+/// One receive slot must hold the largest protocol datagram: a full query
+/// carries at most 2n tagged entries (12 bytes each) plus envelope/epoch
+/// headers, and the reliability layer's framing adds 13 bytes on top.
+std::size_t slot_size(std::uint32_t n) {
+  return std::clamp<std::size_t>(96 + 24 * static_cast<std::size_t>(n),
+                                 std::size_t{2048}, std::size_t{64 * 1024});
+}
+
 }  // namespace
 
 UdpTransport::UdpTransport(const UdpConfig& config) : config_(config) {
@@ -38,6 +55,25 @@ void UdpTransport::start() {
   if (fd_ < 0) {
     throw std::system_error(errno, std::generic_category(), "socket");
   }
+  // Size the socket buffers BEFORE traffic can arrive. The auto rule covers
+  // a whole cluster's fan-in landing while the receiver thread is
+  // descheduled: n peers can each have a full query plus a response in
+  // flight to us within one pacing period, with slack for retransmissions.
+  // The kernel clamps to net.core.{r,w}mem_max silently; stats() reports
+  // what was actually granted.
+  const std::size_t slot = slot_size(config_.n);
+  const std::size_t auto_bytes = std::clamp<std::size_t>(
+      4 * static_cast<std::size_t>(config_.n) * slot, std::size_t{256 * 1024},
+      std::size_t{8 * 1024 * 1024});
+  const int request = static_cast<int>(
+      config_.socket_buffer_bytes ? config_.socket_buffer_bytes : auto_bytes);
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &request, sizeof request);
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &request, sizeof request);
+  int granted = 0;
+  socklen_t granted_len = sizeof granted;
+  if (::getsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &granted, &granted_len) == 0) {
+    rcvbuf_bytes_ = static_cast<std::uint64_t>(granted);
+  }
   const sockaddr_in addr = peer_address(config_.base_port, config_.self);
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
@@ -46,6 +82,7 @@ void UdpTransport::start() {
     fd_ = -1;
     throw std::system_error(err, std::generic_category(), "bind");
   }
+  recv_buffers_.assign(slot * kRecvBatch, 0);
   stopping_.store(false);
   receiver_ = std::thread([this] { receive_loop(); });
 }
@@ -62,25 +99,90 @@ void UdpTransport::send(ProcessId to,
                         std::span<const std::uint8_t> datagram) {
   if (fd_ < 0) return;
   const sockaddr_in addr = peer_address(config_.base_port, to);
-  const auto sent =
-      ::sendto(fd_, datagram.data(), datagram.size(), 0,
-               reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
-  if (sent < 0) {
+  ssize_t sent = 0;
+  do {
+    sent = ::sendto(fd_, datagram.data(), datagram.size(), 0,
+                    reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (sent < 0 && errno == EINTR);
+  if (sent < 0 && errno != ECONNREFUSED) {
+    // ECONNREFUSED is a late ICMP echo of a previous send to a dead peer —
+    // routine while the cluster suspects a crashed process, not worth noise.
     MMRFD_LOG_WARN("udp") << "sendto " << to << " failed: "
                           << std::strerror(errno);
   }
 }
 
+std::size_t UdpTransport::drain_ready() {
+  const std::size_t slot = recv_buffers_.size() / kRecvBatch;
+#if defined(__linux__)
+  mmsghdr msgs[kRecvBatch]{};
+  iovec iov[kRecvBatch];
+  for (std::size_t i = 0; i < kRecvBatch; ++i) {
+    iov[i] = {recv_buffers_.data() + i * slot, slot};
+    msgs[i].msg_hdr.msg_iov = &iov[i];
+    msgs[i].msg_hdr.msg_iovlen = 1;
+  }
+  const int got = ::recvmmsg(fd_, msgs, kRecvBatch, MSG_DONTWAIT, nullptr);
+  if (got < 0) {
+    if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      recv_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return 0;
+  }
+  for (int i = 0; i < got; ++i) {
+    const std::size_t len = msgs[i].msg_len;
+    datagrams_received_.fetch_add(1, std::memory_order_relaxed);
+    bytes_received_.fetch_add(len, std::memory_order_relaxed);
+    if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) {
+      truncated_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // partial datagram: dropped, but counted
+    }
+    handler_(std::span<const std::uint8_t>(recv_buffers_.data() + i * slot,
+                                           len));
+  }
+  return static_cast<std::size_t>(got);
+#else
+  const auto got = ::recvfrom(fd_, recv_buffers_.data(), slot, MSG_DONTWAIT,
+                              nullptr, nullptr);
+  if (got < 0) {
+    if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
+      recv_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return 0;
+  }
+  datagrams_received_.fetch_add(1, std::memory_order_relaxed);
+  bytes_received_.fetch_add(static_cast<std::uint64_t>(got),
+                            std::memory_order_relaxed);
+  handler_(std::span<const std::uint8_t>(recv_buffers_.data(),
+                                         static_cast<std::size_t>(got)));
+  return 1;
+#endif
+}
+
 void UdpTransport::receive_loop() {
-  std::uint8_t buf[64 * 1024];
   while (!stopping_.load()) {
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
-    if (ready <= 0) continue;  // timeout or EINTR: re-check stopping_
-    const auto got = ::recvfrom(fd_, buf, sizeof(buf), 0, nullptr, nullptr);
-    if (got <= 0) continue;
-    handler_(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(got)));
+    if (ready < 0) {
+      if (errno != EINTR) recv_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // EINTR: re-check stopping_ and poll again
+    }
+    if (ready == 0) continue;  // timeout: re-check stopping_
+    // Drain everything this wakeup saw. Full batches mean more may be
+    // queued; stop between batches if shutdown was requested meanwhile.
+    while (drain_ready() == kRecvBatch && !stopping_.load()) {
+    }
   }
+}
+
+UdpStats UdpTransport::stats() const {
+  UdpStats s;
+  s.datagrams_received = datagrams_received_.load(std::memory_order_relaxed);
+  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  s.truncated = truncated_.load(std::memory_order_relaxed);
+  s.recv_errors = recv_errors_.load(std::memory_order_relaxed);
+  s.rcvbuf_bytes = rcvbuf_bytes_;
+  return s;
 }
 
 }  // namespace mmrfd::transport

@@ -8,6 +8,12 @@
 // so datagram semantics cost only detection sharpness, never safety. (The
 // formal model assumes reliable channels; on loopback UDP loss is nil. A
 // lossy-WAN deployment stacks ReliableDatagram on top — see reliable.h.)
+//
+// Scale hardening (the live-cluster subsystem runs 128+ of these per
+// machine): the receive loop drains in batches via recvmmsg where available,
+// SO_RCVBUF/SO_SNDBUF are sized to survive an n-process query fan-in landing
+// within one pacing period, and nothing is dropped silently — truncated
+// datagrams and receive errors are counted in UdpStats.
 #pragma once
 
 #include <atomic>
@@ -24,6 +30,23 @@ struct UdpConfig {
   ProcessId self{0};
   std::uint32_t n{0};
   std::uint16_t base_port{39000};
+  /// Requested socket buffer size; 0 = auto (scales with n, so a whole
+  /// round's fan-in of full queries fits while the receiver thread is
+  /// descheduled). The kernel may clamp; UdpStats reports the granted size.
+  std::uint32_t socket_buffer_bytes{0};
+};
+
+/// Wire-level receive accounting. Every datagram the kernel hands us is
+/// counted exactly once: delivered, truncated, or errored.
+struct UdpStats {
+  std::uint64_t datagrams_received{0};
+  std::uint64_t bytes_received{0};
+  /// Datagrams larger than the receive slot (MSG_TRUNC): dropped, counted.
+  std::uint64_t truncated{0};
+  /// recvfrom/recvmmsg failures other than EINTR/EAGAIN.
+  std::uint64_t recv_errors{0};
+  /// SO_RCVBUF actually granted by the kernel (doubled on Linux).
+  std::uint64_t rcvbuf_bytes{0};
 };
 
 class UdpTransport final : public DatagramTransport {
@@ -48,14 +71,28 @@ class UdpTransport final : public DatagramTransport {
     return config_.n;
   }
 
+  [[nodiscard]] UdpStats stats() const;
+
  private:
   void receive_loop();
+  /// Drains one poll-ready batch; returns the number of datagrams handled.
+  std::size_t drain_ready();
 
   UdpConfig config_;
   DatagramHandler handler_;
   int fd_{-1};
   std::atomic<bool> stopping_{false};
   std::thread receiver_;
+
+  // Receive slots (allocated once in start()); one slot per recvmmsg entry
+  // on Linux, a single slot for the portable recvfrom path.
+  std::vector<std::uint8_t> recv_buffers_;
+
+  std::atomic<std::uint64_t> datagrams_received_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> truncated_{0};
+  std::atomic<std::uint64_t> recv_errors_{0};
+  std::uint64_t rcvbuf_bytes_{0};
 };
 
 }  // namespace mmrfd::transport

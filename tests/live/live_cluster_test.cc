@@ -1,0 +1,155 @@
+// Live-cluster integration: a supervisor-managed cluster of REAL mmrfd-node
+// processes over loopback UDP, with SIGKILL crash injection.
+//
+// These tests fork/exec the mmrfd-node binary (discovered next to this test
+// binary in the build tree, or via $MMRFD_NODE_BIN) — they are the proof
+// that the simulator-verified protocol, the delta codec and the need_full
+// resync work over a kernel network stack with real process crashes.
+// Registered RUN_SERIAL with generous deadlines: wall-clock pacing on a
+// loaded CI machine is jittery, and the assertions below only depend on
+// eventual convergence, never on tight timing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include "live/supervisor.h"
+
+namespace mmrfd::live {
+namespace {
+
+std::string fresh_report_dir(const std::string& tag) {
+  return "live_cluster_test." + tag + "." + std::to_string(::getpid());
+}
+
+const NodeReport* final_report(const LiveRunResult& result, std::uint32_t id) {
+  for (const LiveNodeOutcome& node : result.nodes) {
+    if (node.id.value == id) {
+      return node.reports.empty() ? nullptr : &node.reports.back();
+    }
+  }
+  return nullptr;
+}
+
+TEST(LiveCluster, KillOneNodeAllSurvivorsConverge) {
+  constexpr std::uint32_t kN = 8;
+  constexpr std::uint32_t kVictim = 5;
+  SupervisorConfig cfg;
+  cfg.n = kN;
+  cfg.f = 2;
+  cfg.base_port = 46000;
+  cfg.pacing = from_millis(50);
+  cfg.flush = from_millis(100);
+  cfg.delta = true;
+  cfg.report_dir = fresh_report_dir("kill");
+
+  Supervisor supervisor(cfg);
+  // Two seconds of steady state before the kill (slow-starting nodes on a
+  // loaded machine must be in the round-trotting regime first), five after
+  // (dozens of 50 ms rounds — detection needs one).
+  const std::vector<CrashEvent> schedule = {
+      {ProcessId{kVictim}, from_seconds(2.0), std::nullopt}};
+  const LiveRunResult result = supervisor.run(schedule, from_seconds(7));
+
+  // Clean orchestration: one planned kill, nothing else died, and every
+  // graceful node flushed a readable report.
+  ASSERT_EQ(result.crashes.size(), 1u);
+  EXPECT_EQ(result.crashes[0].victim, ProcessId{kVictim});
+  EXPECT_EQ(result.unexpected_exits, 0u);
+  EXPECT_EQ(result.missing_reports, 0u);
+
+  // Convergence: all 7 survivors permanently suspected the victim, with a
+  // positive wall-clock latency (strong completeness over real sockets).
+  EXPECT_TRUE(result.strong_completeness);
+  ASSERT_EQ(result.detection_latencies.count(), kN - 1);
+  EXPECT_GT(result.detection_latencies.min(), 0.0);
+  EXPECT_LT(result.detection_latencies.max(), 7.0);
+
+  // Per-survivor reports: the victim is in the final suspected set, the
+  // delta wire path actually ran, and the kernel path was clean.
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    if (i == kVictim) continue;
+    const NodeReport* r = final_report(result, i);
+    ASSERT_NE(r, nullptr) << "survivor " << i << " has no report";
+    EXPECT_NE(std::find(r->suspected.begin(), r->suspected.end(), kVictim),
+              r->suspected.end())
+        << "survivor " << i << " does not suspect the victim";
+    EXPECT_GT(r->rounds, 0u);
+    EXPECT_EQ(r->truncated, 0u);
+    EXPECT_EQ(r->malformed, 0u);
+  }
+  EXPECT_GT(result.delta_queries_sent, 0u);
+  EXPECT_GT(result.bytes_per_query(), 0.0);
+  EXPECT_GT(result.rounds, 0u);
+
+  std::filesystem::remove_all(cfg.report_dir);
+}
+
+TEST(LiveCluster, RestartedNodeResyncsViaNeedFull) {
+  // Two kills: the first (permanent) churns every survivor's state so their
+  // per-peer watermarks move off epoch 0; the second victim is restarted
+  // with fresh state, so the survivors' delta queries name a base epoch the
+  // new process never acknowledged — the need_full resync must fire over
+  // real sockets, after which the survivors clear the restarted node.
+  constexpr std::uint32_t kN = 6;
+  constexpr std::uint32_t kDeadVictim = 4;
+  constexpr std::uint32_t kRestartVictim = 5;
+  SupervisorConfig cfg;
+  cfg.n = kN;
+  cfg.f = 2;
+  cfg.base_port = 46500;
+  cfg.pacing = from_millis(50);
+  cfg.flush = from_millis(100);
+  cfg.delta = true;
+  cfg.report_dir = fresh_report_dir("restart");
+
+  Supervisor supervisor(cfg);
+  const std::vector<CrashEvent> schedule = {
+      {ProcessId{kDeadVictim}, from_seconds(1.5), std::nullopt},
+      {ProcessId{kRestartVictim}, from_seconds(3.0), from_seconds(4.5)},
+  };
+  const LiveRunResult result = supervisor.run(schedule, from_seconds(10));
+
+  ASSERT_EQ(result.crashes.size(), 2u);
+  EXPECT_EQ(result.unexpected_exits, 0u);
+  const auto restarted =
+      std::find_if(result.crashes.begin(), result.crashes.end(),
+                   [](const LiveCrash& c) { return c.restarted; });
+  ASSERT_NE(restarted, result.crashes.end());
+  EXPECT_EQ(restarted->victim, ProcessId{kRestartVictim});
+
+  // The resync actually happened: some survivor received a need_full ack
+  // (and the restarted incarnation sent one).
+  EXPECT_GT(result.need_full_received, 0u);
+  EXPECT_GT(result.need_full_sent, 0u);
+
+  // After the resync the cluster re-converges: every survivor's final
+  // suspected set contains the dead victim but NOT the restarted one, and
+  // the restarted incarnation itself is live, round-making and suspects the
+  // dead victim too.
+  for (const std::uint32_t i : {0u, 1u, 2u, 3u}) {
+    const NodeReport* r = final_report(result, i);
+    ASSERT_NE(r, nullptr);
+    EXPECT_NE(
+        std::find(r->suspected.begin(), r->suspected.end(), kDeadVictim),
+        r->suspected.end())
+        << "survivor " << i << " does not suspect the dead victim";
+    EXPECT_EQ(
+        std::find(r->suspected.begin(), r->suspected.end(), kRestartVictim),
+        r->suspected.end())
+        << "survivor " << i << " still suspects the restarted node";
+  }
+  const NodeReport* rr = final_report(result, kRestartVictim);
+  ASSERT_NE(rr, nullptr);
+  EXPECT_GT(rr->rounds, 0u);
+  EXPECT_NE(
+      std::find(rr->suspected.begin(), rr->suspected.end(), kDeadVictim),
+      rr->suspected.end());
+
+  std::filesystem::remove_all(cfg.report_dir);
+}
+
+}  // namespace
+}  // namespace mmrfd::live
