@@ -74,6 +74,19 @@ RunMetrics summarize(const metrics::EventLog& log, std::uint32_t n,
   return out;
 }
 
+RunMetrics summarize_rollup_metrics(const std::vector<metrics::PairRollup>& pairs,
+                                    const std::vector<metrics::CrashRecord>& crashes,
+                                    std::uint32_t n) {
+  RunMetrics out;
+  const metrics::RollupSummary s = metrics::summarize_rollup(pairs, crashes, n);
+  out.detection_latencies = s.detection_latencies;
+  out.completeness_latency = s.completeness_latency;
+  out.strong_completeness = s.strong_completeness;
+  out.false_suspicions = s.false_suspicions;
+  out.clean_at = s.clean_at;
+  return out;
+}
+
 RunMetrics run_mmr(const Workload& w) {
   runtime::MmrClusterConfig cfg;
   cfg.n = w.n;

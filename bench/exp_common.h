@@ -78,6 +78,14 @@ struct RunMetrics {
 RunMetrics summarize(const metrics::EventLog& log, std::uint32_t n,
                      Duration horizon);
 
+/// Rollup-mode counterpart of summarize(): fills the fields computable from
+/// per-pair rollups (detection latencies, completeness, false-suspicion
+/// count, clean_at) and leaves the stream-only ones (mistake durations,
+/// false series, accuracy_stable_at) empty.
+RunMetrics summarize_rollup_metrics(const std::vector<metrics::PairRollup>& pairs,
+                                    const std::vector<metrics::CrashRecord>& crashes,
+                                    std::uint32_t n);
+
 /// The paper's detector.
 RunMetrics run_mmr(const Workload& w);
 /// Fixed-timeout heartbeat baseline.

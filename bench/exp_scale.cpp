@@ -18,6 +18,7 @@
 // sweep's own differential check (state metrics must match row for row) and
 // `B_per_query` shows what the encoding buys. --jobs N forks one process
 // per config so seed-averaged sweeps use the whole machine.
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -25,6 +26,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -39,6 +41,7 @@
 #include "common/argparse.h"
 #include "exp_common.h"
 #include "metrics/table.h"
+#include "runtime/sharded_cluster.h"
 
 using namespace mmrfd;
 using metrics::Table;
@@ -49,6 +52,8 @@ struct ScaleConfig {
   std::uint32_t n{0};
   std::uint64_t seed{0};
   bool delta{true};
+  std::uint32_t shards{0};  ///< 0 = serial Simulation, >0 = ShardedEngine
+  bool rollup_log{false};   ///< serial path only; sharded is always rollup
 };
 
 struct ScaleResult {
@@ -56,6 +61,7 @@ struct ScaleResult {
   std::uint32_t f{0};
   std::uint64_t seed{0};
   bool delta{true};
+  std::uint32_t shards{0};  ///< 0 = serial engine
   double horizon_s{0};
   double wall_s{0};
   std::uint64_t events_fired{0};
@@ -73,8 +79,9 @@ struct ScaleResult {
 // The --jobs path ships results from child to parent as raw bytes.
 static_assert(std::is_trivially_copyable_v<ScaleResult>);
 
-ScaleResult run_config(const ScaleConfig& c, Duration horizon, Duration pacing,
-                       bool with_spike) {
+runtime::MmrClusterConfig cluster_config(const ScaleConfig& c,
+                                         Duration horizon, Duration pacing,
+                                         bool with_spike) {
   const std::uint32_t n = c.n;
   runtime::MmrClusterConfig cfg;
   cfg.n = n;
@@ -85,6 +92,7 @@ ScaleResult run_config(const ScaleConfig& c, Duration horizon, Duration pacing,
   cfg.mean_delay = from_millis(1);
   cfg.delay_preset = net::DelayPreset::kExponential;
   cfg.delta_queries = c.delta;
+  if (c.rollup_log) cfg.log_mode = metrics::LogMode::kRollup;
   if (with_spike) {
     // A transient slowdown on ~1% of the nodes in the back half of the run.
     // The factor pushes their mean delay (1ms) past the pacing period (1s),
@@ -100,15 +108,26 @@ ScaleResult run_config(const ScaleConfig& c, Duration horizon, Duration pacing,
     }
     cfg.spike = spike;
   }
-  runtime::MmrCluster cluster(cfg);
-  // Per-query byte accounting rides the size_fn: wire_size is exact for
-  // both encodings, so bytes/query is the sweep's full-vs-delta column.
-  struct WireTally {
-    std::uint64_t query_bytes{0};
-    std::uint64_t queries{0};
-  };
-  auto tally = std::make_shared<WireTally>();
-  cluster.network().set_size_fn([tally](const runtime::MmrMessage& m) {
+  return cfg;
+}
+
+runtime::CrashPlan crash_plan(const ScaleConfig& c, Duration horizon,
+                              std::size_t crashes) {
+  return runtime::CrashPlan::uniform(
+      crashes, c.n, from_seconds(to_seconds(horizon) * 0.2),
+      from_seconds(to_seconds(horizon) * 0.6), c.seed);
+}
+
+// Per-query byte accounting rides the size_fn: wire_size is exact for both
+// encodings, so bytes/query is the sweep's full-vs-delta column.
+struct WireTally {
+  std::uint64_t query_bytes{0};
+  std::uint64_t queries{0};
+};
+
+template <typename Net>
+void install_tally(Net& net, std::shared_ptr<WireTally> tally) {
+  net.set_size_fn([tally = std::move(tally)](const runtime::MmrMessage& m) {
     const std::size_t size = std::visit(
         [](const auto& msg) { return transport::wire_size(msg); }, m);
     if (std::holds_alternative<core::QueryMessage>(m)) {
@@ -117,14 +136,45 @@ ScaleResult run_config(const ScaleConfig& c, Duration horizon, Duration pacing,
     }
     return size;
   });
+}
+
+void fill_result(ScaleResult& r, const ScaleConfig& c, std::uint32_t f,
+                 Duration horizon, double wall_s, const WireTally& tally,
+                 std::size_t crashes, const bench::RunMetrics& m) {
+  r.n = c.n;
+  r.f = f;
+  r.seed = c.seed;
+  r.delta = c.delta;
+  r.shards = c.shards;
+  r.horizon_s = to_seconds(horizon);
+  r.wall_s = wall_s;
+  r.events_per_sec =
+      wall_s > 0 ? static_cast<double>(r.events_fired) / wall_s : 0;
+  r.bytes_per_query =
+      tally.queries > 0 ? static_cast<double>(tally.query_bytes) /
+                              static_cast<double>(tally.queries)
+                        : 0;
+  r.crashes = crashes;
+  r.strong_completeness = m.strong_completeness;
+  r.detection_mean_s = m.detection_latencies.mean();
+  r.detection_p99_s = m.detection_latencies.percentile(99.0);
+  r.detection_max_s = m.detection_latencies.max();
+  r.false_suspicions = m.false_suspicions;
+}
+
+ScaleResult run_serial(const ScaleConfig& c, Duration horizon, Duration pacing,
+                       bool with_spike) {
+  const runtime::MmrClusterConfig cfg =
+      cluster_config(c, horizon, pacing, with_spike);
+  runtime::MmrCluster cluster(cfg);
+  auto tally = std::make_shared<WireTally>();
+  install_tally(cluster.network(), tally);
 
   const std::size_t crashes = cfg.f / 2;
-  const auto plan = runtime::CrashPlan::uniform(
-      crashes, n, from_seconds(to_seconds(horizon) * 0.2),
-      from_seconds(to_seconds(horizon) * 0.6), c.seed);
+  const auto plan = crash_plan(c, horizon, crashes);
 
-  std::cerr << "[exp_scale] n=" << n << " seed=" << c.seed
-            << (c.delta ? " delta" : " full") << " simulating...\n";
+  std::cerr << "[exp_scale] n=" << c.n << " seed=" << c.seed
+            << (c.delta ? " delta" : " full") << " serial simulating...\n";
   const auto wall_start = std::chrono::steady_clock::now();
   cluster.start(plan);
   cluster.run_for(horizon);
@@ -132,9 +182,13 @@ ScaleResult run_config(const ScaleConfig& c, Duration horizon, Duration pacing,
       std::chrono::steady_clock::now() - wall_start;
   std::cerr << "[exp_scale]   sim " << wall.count() << "s, "
             << cluster.simulation().events_fired() << " events, "
-            << cluster.log().events().size() << " log entries; analysing...\n";
+            << cluster.log().entries() << " log entries; analysing...\n";
 
-  const bench::RunMetrics m = bench::summarize(cluster.log(), n, horizon);
+  const bench::RunMetrics m =
+      cfg.log_mode == metrics::LogMode::kRollup
+          ? bench::summarize_rollup_metrics(cluster.log().rollup(),
+                                            cluster.log().crashes(), c.n)
+          : bench::summarize(cluster.log(), c.n, horizon);
   std::cerr << "[exp_scale]   analysis "
             << std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              wall_start)
@@ -143,29 +197,66 @@ ScaleResult run_config(const ScaleConfig& c, Duration horizon, Duration pacing,
             << "s\n";
 
   ScaleResult r;
-  r.n = n;
-  r.f = cfg.f;
-  r.seed = c.seed;
-  r.delta = c.delta;
-  r.horizon_s = to_seconds(horizon);
-  r.wall_s = wall.count();
   r.events_fired = cluster.simulation().events_fired();
-  r.events_per_sec =
-      wall.count() > 0 ? static_cast<double>(r.events_fired) / wall.count() : 0;
   r.messages_sent = cluster.network().stats().messages_sent;
   r.bytes_sent = cluster.network().stats().bytes_sent;
-  r.bytes_per_query =
-      tally->queries > 0
-          ? static_cast<double>(tally->query_bytes) /
-                static_cast<double>(tally->queries)
-          : 0;
-  r.crashes = crashes;
-  r.strong_completeness = m.strong_completeness;
-  r.detection_mean_s = m.detection_latencies.mean();
-  r.detection_p99_s = m.detection_latencies.percentile(99.0);
-  r.detection_max_s = m.detection_latencies.max();
-  r.false_suspicions = m.false_suspicions;
+  fill_result(r, c, cfg.f, horizon, wall.count(), *tally, crashes, m);
   return r;
+}
+
+ScaleResult run_sharded(const ScaleConfig& c, Duration horizon, Duration pacing,
+                        bool with_spike) {
+  const runtime::MmrClusterConfig cfg =
+      cluster_config(c, horizon, pacing, with_spike);
+  runtime::ShardedMmrCluster cluster(cfg, c.shards);
+  // One tally per shard: each network's size_fn runs on that shard's worker
+  // thread, so the counters must not be shared across shards.
+  std::vector<std::shared_ptr<WireTally>> tallies;
+  for (std::uint32_t s = 0; s < c.shards; ++s) {
+    tallies.push_back(std::make_shared<WireTally>());
+    install_tally(cluster.network(s), tallies.back());
+  }
+
+  const std::size_t crashes = cfg.f / 2;
+  const auto plan = crash_plan(c, horizon, crashes);
+
+  std::cerr << "[exp_scale] n=" << c.n << " seed=" << c.seed
+            << (c.delta ? " delta" : " full") << " sharded x" << c.shards
+            << " (window " << to_seconds(cluster.engine().window()) * 1e6
+            << "us) simulating...\n";
+  const auto wall_start = std::chrono::steady_clock::now();
+  cluster.start(plan);
+  cluster.run_for(horizon);
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - wall_start;
+  std::cerr << "[exp_scale]   sim " << wall.count() << "s, "
+            << cluster.engine().events_fired() << " events, "
+            << cluster.engine().windows_run() << " windows, "
+            << cluster.engine().cross_shard_posts() << " exchanged, "
+            << (cluster.log_retained_bytes() >> 20)
+            << " MiB log; analysing...\n";
+
+  const bench::RunMetrics m = bench::summarize_rollup_metrics(
+      cluster.rollup(), cluster.crashes(), c.n);
+
+  WireTally tally;
+  for (const auto& t : tallies) {
+    tally.query_bytes += t->query_bytes;
+    tally.queries += t->queries;
+  }
+  const net::NetworkStats stats = cluster.stats();
+  ScaleResult r;
+  r.events_fired = cluster.engine().events_fired();
+  r.messages_sent = stats.messages_sent;
+  r.bytes_sent = stats.bytes_sent;
+  fill_result(r, c, cfg.f, horizon, wall.count(), tally, crashes, m);
+  return r;
+}
+
+ScaleResult run_config(const ScaleConfig& c, Duration horizon, Duration pacing,
+                       bool with_spike) {
+  return c.shards > 0 ? run_sharded(c, horizon, pacing, with_spike)
+                      : run_serial(c, horizon, pacing, with_spike);
 }
 
 #if MMRFD_HAVE_FORK
@@ -288,6 +379,8 @@ int run_forked(const std::vector<ScaleConfig>& configs, Duration horizon,
     os << "    {\"n\": " << r.n << ", \"f\": " << r.f
        << ", \"seed\": " << r.seed
        << ", \"delta\": " << (r.delta ? "true" : "false")
+       << ", \"engine\": \"" << (r.shards > 0 ? "sharded" : "serial")
+       << "\", \"shards\": " << r.shards
        << ", \"horizon_s\": " << r.horizon_s << ", \"wall_s\": " << r.wall_s
        << ", \"events_fired\": " << r.events_fired
        << ", \"events_per_sec\": " << r.events_per_sec
@@ -321,6 +414,9 @@ int main(int argc, char** argv) {
       .flag("period", "1000", "query pacing Delta (ms)")
       .flag("spike", "true", "inject a mid-run delay spike on ~1% of nodes")
       .flag("mode", "both", "query encoding: delta, full, or both")
+      .flag("engine", "serial", "simulation engine: serial, sharded, or both")
+      .flag("shards", "4", "worker shards for the sharded engine")
+      .flag("log", "full", "serial event-log retention: full or rollup")
       .flag("jobs", "1", "fork one worker process per config, N at a time")
       .flag("out", "BENCH_scale.json", "JSON output path")
       .flag("csv", "false", "emit CSV instead of an aligned table");
@@ -370,12 +466,44 @@ int main(int argc, char** argv) {
               << mode << "')\n";
     return 1;
   }
+  const std::string engine = args.get("engine");
+  if (engine != "serial" && engine != "sharded" && engine != "both") {
+    std::cerr << "exp_scale: --engine must be serial, sharded or both (got '"
+              << engine << "')\n";
+    return 1;
+  }
+  const int shards_arg = args.get_int("shards");
+  if (shards_arg < 1 || shards_arg > 256) {
+    std::cerr << "exp_scale: --shards must be in [1, 256]\n";
+    return 1;
+  }
+  const auto shards = static_cast<std::uint32_t>(shards_arg);
+  const std::string log_mode = args.get("log");
+  if (log_mode != "full" && log_mode != "rollup") {
+    std::cerr << "exp_scale: --log must be full or rollup (got '" << log_mode
+              << "')\n";
+    return 1;
+  }
   const int jobs_arg = args.get_int("jobs");
   if (jobs_arg < 1) {
     std::cerr << "exp_scale: --jobs must be >= 1\n";
     return 1;
   }
-  const auto jobs = static_cast<std::size_t>(jobs_arg);
+  auto jobs = static_cast<std::size_t>(jobs_arg);
+  if (engine != "serial" && jobs > 1) {
+    // --jobs forks whole processes and --shards threads each sharded run:
+    // multiplied, they oversubscribe the machine and the per-run wall-clock
+    // numbers stop meaning anything. Cap the process count so
+    // jobs * shards <= hardware threads (but always allow one job).
+    const std::size_t hc = std::max(1u, std::thread::hardware_concurrency());
+    const std::size_t cap = std::max<std::size_t>(1, hc / shards);
+    if (jobs > cap) {
+      std::cerr << "exp_scale: --jobs " << jobs << " x --shards " << shards
+                << " oversubscribes " << hc
+                << " hardware threads; capping --jobs to " << cap << "\n";
+      jobs = cap;
+    }
+  }
 #if !MMRFD_HAVE_FORK
   if (jobs > 1) {
     std::cerr << "exp_scale: --jobs needs fork(); running serially\n";
@@ -393,11 +521,17 @@ int main(int argc, char** argv) {
   // Build the config list up front (the unit of work for --jobs). Encoding
   // varies fastest so full-vs-delta rows for one (n, seed) sit adjacent.
   std::vector<ScaleConfig> configs;
+  const bool rollup = log_mode == "rollup";
   for (const std::uint32_t n : sizes) {
     for (std::uint64_t seed = 1;
          seed <= static_cast<std::uint64_t>(args.get_int("seeds")); ++seed) {
-      if (mode != "delta") configs.push_back({n, seed, false});
-      if (mode != "full") configs.push_back({n, seed, true});
+      for (const bool delta : {false, true}) {
+        if (delta ? mode == "full" : mode == "delta") continue;
+        if (engine != "sharded") configs.push_back({n, seed, delta, 0, rollup});
+        if (engine != "serial") {
+          configs.push_back({n, seed, delta, shards, rollup});
+        }
+      }
     }
   }
 
@@ -417,13 +551,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  Table table({"n", "f", "seed", "delta", "wall_s", "events",
+  Table table({"n", "f", "seed", "delta", "engine", "wall_s", "events",
                "events_per_sec", "msgs_sent", "B_per_query", "mean_det_s",
                "p99_det_s", "complete", "false_susp"});
   for (const auto& r : results) {
     table.add_row({Table::num(std::uint64_t{r.n}),
                    Table::num(std::uint64_t{r.f}), Table::num(r.seed),
-                   r.delta ? "yes" : "no", Table::num(r.wall_s),
+                   r.delta ? "yes" : "no",
+                   r.shards > 0 ? "shard" + std::to_string(r.shards)
+                                : std::string("serial"),
+                   Table::num(r.wall_s),
                    Table::num(r.events_fired), Table::num(r.events_per_sec),
                    Table::num(r.messages_sent), Table::num(r.bytes_per_query),
                    Table::num(r.detection_mean_s),

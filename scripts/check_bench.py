@@ -4,9 +4,13 @@
 Matches result rows between two exp_scale/exp_live JSON artifacts by their
 configuration key and flags metric movements outside a tolerance band:
 
-  * events_per_sec   — lower is a regression
-  * bytes_per_query  — higher is a regression
-  * detection_p99_s  — higher is a regression
+  * events_per_sec    — lower is a regression
+  * bytes_per_query   — higher is a regression
+  * detection_mean_s  — higher is a regression
+  * detection_p99_s   — higher is a regression
+
+The key includes the engine/shards columns exp_scale emits, so a serial and
+a sharded run of the same (n, f, seed) never get compared to each other.
 
 Warn-only by default (always exits 0): bench hardware — CI runners above
 all — is far too noisy to gate merges on, so the output is a trend signal
@@ -25,9 +29,10 @@ import sys
 METRICS = {
     "events_per_sec": "up",
     "bytes_per_query": "down",
+    "detection_mean_s": "down",
     "detection_p99_s": "down",
 }
-KEY_FIELDS = ("n", "f", "seed", "delta", "reliable")
+KEY_FIELDS = ("n", "f", "seed", "delta", "reliable", "engine", "shards")
 
 
 def load_rows(path):

@@ -200,4 +200,62 @@ bool Analysis::strong_completeness() const {
   return true;
 }
 
+RollupSummary summarize_rollup(const std::vector<PairRollup>& pairs,
+                               const std::vector<CrashRecord>& crashes,
+                               std::uint32_t n) {
+  RollupSummary out;
+  std::unordered_set<std::uint32_t> crashed;
+  for (const auto& c : crashes) crashed.insert(c.subject.value);
+  const auto is_correct = [&](ProcessId id) {
+    return id.value < n && !crashed.contains(id.value);
+  };
+
+  std::unordered_map<std::uint64_t, const PairRollup*> by_key;
+  by_key.reserve(pairs.size());
+  const auto key = [](ProcessId obs, ProcessId subj) {
+    return (static_cast<std::uint64_t>(obs.value) << 32) | subj.value;
+  };
+  for (const auto& p : pairs) by_key.emplace(key(p.observer, p.subject), &p);
+
+  // Detection / completeness: a crash is detected by a correct observer iff
+  // the pair's suspicion interval is still open at the end of the run; its
+  // start is the detection instant (clamped at zero when the subject was
+  // already wrongly suspected before it crashed and never repaired).
+  const std::size_t observers = n - crashed.size();
+  out.strong_completeness = true;
+  double worst = 0.0;
+  for (const auto& c : crashes) {
+    bool all_detected = observers > 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const ProcessId obs{i};
+      if (!is_correct(obs)) continue;
+      const auto it = by_key.find(key(obs, c.subject));
+      if (it != by_key.end() && it->second->open) {
+        const double lat = std::max(
+            0.0, to_seconds(it->second->open_since - c.when));
+        out.detection_latencies.add(lat);
+        worst = std::max(worst, lat);
+      } else {
+        all_detected = false;
+      }
+    }
+    if (!all_detected) out.strong_completeness = false;
+  }
+  if (out.strong_completeness) out.completeness_latency = worst;
+
+  // Wrongful suspicions: every episode between two correct processes,
+  // whether repaired or still open — the same counting rule as
+  // Analysis::false_suspicions().
+  TimePoint last_clear = kTimeZero;
+  bool any_open = false;
+  for (const auto& p : pairs) {
+    if (!is_correct(p.observer) || !is_correct(p.subject)) continue;
+    out.false_suspicions += p.episodes;
+    last_clear = std::max(last_clear, p.last_clear);
+    any_open = any_open || p.open;
+  }
+  if (!any_open) out.clean_at = to_seconds(last_clear);
+  return out;
+}
+
 }  // namespace mmrfd::metrics

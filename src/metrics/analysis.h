@@ -102,4 +102,25 @@ class Analysis {
   TimePoint horizon_;
 };
 
+/// Headline metrics computable from per-pair rollups (LogMode::kRollup),
+/// matching the definitions Analysis derives from the full event stream:
+/// detection = start of the final (still-open) suspicion interval, latencies
+/// clamped at zero, false suspicions = intervals between two correct
+/// processes, clean_at = last wrongful repair (unset while one is open).
+struct RollupSummary {
+  SampleSet detection_latencies;  ///< seconds, per (crash, correct observer)
+  /// Worst per-crash strong-completeness latency (seconds); unset if some
+  /// crash went undetected by some correct observer.
+  std::optional<double> completeness_latency;
+  bool strong_completeness{false};
+  std::size_t false_suspicions{0};
+  std::optional<double> clean_at;  ///< seconds
+};
+
+/// `pairs` from EventLog::rollup(), `crashes` from EventLog::crashes(),
+/// `n` = system size.
+RollupSummary summarize_rollup(const std::vector<PairRollup>& pairs,
+                               const std::vector<CrashRecord>& crashes,
+                               std::uint32_t n);
+
 }  // namespace mmrfd::metrics

@@ -66,6 +66,12 @@ Duration FastSetDelay::sample(ProcessId from, ProcessId to, TimePoint now,
   return fast ? scaled(d, factor_) : d;
 }
 
+Duration FastSetDelay::min_delay() const {
+  const Duration inner = inner_->min_delay();
+  if (fast_set_.empty()) return inner;
+  return std::min(inner, scaled(inner, factor_));
+}
+
 SpikeDelay::SpikeDelay(std::unique_ptr<DelayModel> inner, TimePoint start,
                        TimePoint end, double factor,
                        std::vector<ProcessId> affected)
@@ -87,6 +93,12 @@ Duration SpikeDelay::sample(ProcessId from, ProcessId to, TimePoint now,
     return d;
   }
   return scaled(d, factor_);
+}
+
+Duration SpikeDelay::min_delay() const {
+  const Duration inner = inner_->min_delay();
+  if (start_ >= end_) return inner;  // empty window: never applied
+  return std::min(inner, scaled(inner, factor_));
 }
 
 std::unique_ptr<DelayModel> make_preset(DelayPreset preset, Duration mean) {

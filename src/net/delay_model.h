@@ -24,6 +24,16 @@ class DelayModel {
   virtual ~DelayModel() = default;
   virtual Duration sample(ProcessId from, ProcessId to, TimePoint now,
                           Xoshiro256& rng) = 0;
+
+  /// A true lower bound on every delay this model can ever return, for any
+  /// (from, to, now). The sharded engine sizes its conservative time window
+  /// off this value: a cross-shard message sent at t is only exchanged at
+  /// the next window boundary, which is sound precisely because it cannot
+  /// be delivered before t + min_delay(). A model returning a sample below
+  /// its own bound silently breaks causality (the engine turns that into a
+  /// hard error at hand-off), so implementations must be conservative and
+  /// wrappers must take the minimum over every path through them.
+  [[nodiscard]] virtual Duration min_delay() const = 0;
 };
 
 /// Fixed delay on every link.
@@ -33,6 +43,7 @@ class ConstantDelay final : public DelayModel {
   Duration sample(ProcessId, ProcessId, TimePoint, Xoshiro256&) override {
     return delay_;
   }
+  [[nodiscard]] Duration min_delay() const override { return delay_; }
 
  private:
   Duration delay_;
@@ -43,6 +54,7 @@ class UniformDelay final : public DelayModel {
  public:
   UniformDelay(Duration lo, Duration hi) : lo_(lo), hi_(hi) {}
   Duration sample(ProcessId, ProcessId, TimePoint, Xoshiro256& rng) override;
+  [[nodiscard]] Duration min_delay() const override { return lo_; }
 
  private:
   Duration lo_;
@@ -54,6 +66,7 @@ class ExponentialDelay final : public DelayModel {
  public:
   ExponentialDelay(Duration base, Duration mean) : base_(base), mean_(mean) {}
   Duration sample(ProcessId, ProcessId, TimePoint, Xoshiro256& rng) override;
+  [[nodiscard]] Duration min_delay() const override { return base_; }
 
  private:
   Duration base_;
@@ -66,6 +79,7 @@ class LogNormalDelay final : public DelayModel {
   LogNormalDelay(Duration base, Duration median, double sigma)
       : base_(base), median_(median), sigma_(sigma) {}
   Duration sample(ProcessId, ProcessId, TimePoint, Xoshiro256& rng) override;
+  [[nodiscard]] Duration min_delay() const override { return base_; }
 
  private:
   Duration base_;
@@ -80,6 +94,8 @@ class ParetoDelay final : public DelayModel {
   ParetoDelay(Duration base, Duration x_min, double alpha, Duration cap)
       : base_(base), x_min_(x_min), alpha_(alpha), cap_(cap) {}
   Duration sample(ProcessId, ProcessId, TimePoint, Xoshiro256& rng) override;
+  /// bounded_pareto never draws below x_min, so the bound includes it.
+  [[nodiscard]] Duration min_delay() const override { return base_ + x_min_; }
 
  private:
   Duration base_;
@@ -107,6 +123,10 @@ class FastSetDelay final : public DelayModel {
                Scope scope = Scope::kSenderOnly);
   Duration sample(ProcessId from, ProcessId to, TimePoint now,
                   Xoshiro256& rng) override;
+  /// Fast-set messages are scaled by `factor`, so the bound is the minimum
+  /// over the scaled and unscaled paths (factor is usually < 1, but a
+  /// slow-set wrapper with factor > 1 must not raise the bound).
+  [[nodiscard]] Duration min_delay() const override;
 
  private:
   std::unique_ptr<DelayModel> inner_;
@@ -124,6 +144,10 @@ class SpikeDelay final : public DelayModel {
              double factor, std::vector<ProcessId> affected = {});
   Duration sample(ProcessId from, ProcessId to, TimePoint now,
                   Xoshiro256& rng) override;
+  /// Minimum over the in-spike (scaled) and out-of-spike paths: spikes
+  /// usually slow links down (factor > 1), but a factor < 1 "speed-up
+  /// window" must lower the bound, not violate it.
+  [[nodiscard]] Duration min_delay() const override;
 
  private:
   std::unique_ptr<DelayModel> inner_;

@@ -46,21 +46,60 @@ class Network {
  public:
   using Handler = std::function<void(ProcessId from, const Msg&)>;
   using SizeFn = std::function<std::size_t(const Msg&)>;
+  /// Shard hand-off hook: (dst_shard, when, from, to, payload). Installed by
+  /// the sharded runtime; the network calls it instead of scheduling a local
+  /// delivery event whenever the recipient lives on another shard.
+  using RemoteSink = std::function<void(std::uint32_t dst_shard,
+                                        TimePoint when, ProcessId from,
+                                        ProcessId to,
+                                        std::shared_ptr<const Msg> payload)>;
 
-  Network(sim::Simulation& simulation, Topology topology,
+  /// Shares an existing topology — the sharded runtime hands every
+  /// per-shard network one copy of the (potentially O(n^2)) adjacency.
+  Network(sim::Simulation& simulation, std::shared_ptr<const Topology> topology,
           std::unique_ptr<DelayModel> delays, std::uint64_t seed)
       : sim_(simulation),
         topology_(std::move(topology)),
         delays_(std::move(delays)),
         rng_(derive_seed(seed, "net.delays")),
         loss_rng_(derive_seed(seed, "net.loss")),
-        handlers_(topology_.size()),
-        crashed_(topology_.size(), false) {
+        handlers_(topology_->size()),
+        crashed_(topology_->size(), false) {
     assert(delays_ != nullptr);
+    assert(topology_ != nullptr);
   }
 
-  [[nodiscard]] std::size_t size() const { return topology_.size(); }
-  [[nodiscard]] const Topology& topology() const { return topology_; }
+  Network(sim::Simulation& simulation, Topology topology,
+          std::unique_ptr<DelayModel> delays, std::uint64_t seed)
+      : Network(simulation,
+                std::make_shared<const Topology>(std::move(topology)),
+                std::move(delays), seed) {}
+
+  [[nodiscard]] std::size_t size() const { return topology_->size(); }
+  [[nodiscard]] const Topology& topology() const { return *topology_; }
+
+  /// Turns this instance into one shard of a partitioned deployment:
+  /// `shard_of[i]` names node i's owning shard, `self_shard` is this
+  /// network's shard, and deliveries to nodes of other shards are handed to
+  /// `sink` (with their absolute delivery time) instead of the local heap.
+  /// Delay sampling, loss and duplication still happen here, on the sending
+  /// shard, so a shard's random streams stay private to its thread.
+  void enable_shard_routing(std::shared_ptr<const std::vector<std::uint32_t>> shard_of,
+                            std::uint32_t self_shard, RemoteSink sink) {
+    assert(shard_of != nullptr && shard_of->size() == size());
+    assert(sink != nullptr);
+    shard_of_ = std::move(shard_of);
+    self_shard_ = self_shard;
+    remote_sink_ = std::move(sink);
+  }
+
+  /// Executes a delivery handed over from another shard. Crash filtering
+  /// and delivery stats run here, on the owning shard, where the
+  /// recipient's state lives.
+  void deliver_remote(ProcessId from, ProcessId to,
+                      const std::shared_ptr<const Msg>& payload) {
+    deliver(from, to, *payload);
+  }
 
   void set_handler(ProcessId id, Handler h) {
     handlers_.at(id.value) = std::move(h);
@@ -104,7 +143,7 @@ class Network {
   /// shared payload, and then both delivery events share that single copy.
   void send(ProcessId from, ProcessId to, Msg msg) {
     assert(!is_crashed(from));
-    assert(from == to || topology_.are_neighbors(from, to));
+    assert(from == to || topology_->are_neighbors(from, to));
     ++stats_.messages_sent;
     if (size_fn_) stats_.bytes_sent += size_fn_(msg);
     if (loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_)) {
@@ -118,6 +157,12 @@ class Network {
       // duplicate delay first, then the primary delay.
       schedule_delivery(from, to, payload);
       schedule_delivery(from, to, std::move(payload));
+      return;
+    }
+    if (is_remote(to)) {
+      // Crossing a shard boundary forces the one payload copy the serial
+      // fast path avoids; the destination shard shares it with nothing.
+      route_remote(from, to, std::make_shared<const Msg>(std::move(msg)));
       return;
     }
     const Duration delay = delays_->sample(from, to, sim_.now(), rng_);
@@ -137,7 +182,7 @@ class Network {
   void send_shared(ProcessId from, ProcessId to,
                    std::shared_ptr<const Msg> payload) {
     assert(!is_crashed(from));
-    assert(from == to || topology_.are_neighbors(from, to));
+    assert(from == to || topology_->are_neighbors(from, to));
     assert(payload != nullptr);
     ++stats_.messages_sent;
     if (size_fn_) stats_.bytes_sent += size_fn_(*payload);
@@ -173,7 +218,7 @@ class Network {
  private:
   void broadcast_payload(ProcessId from, std::shared_ptr<const Msg> payload) {
     assert(!is_crashed(from));
-    const auto& neighbors = topology_.neighbors(from);
+    const auto& neighbors = topology_->neighbors(from);
     for (ProcessId to : neighbors) {
       ++stats_.messages_sent;
       if (size_fn_) stats_.bytes_sent += size_fn_(*payload);
@@ -189,11 +234,34 @@ class Network {
     }
   }
 
+  [[nodiscard]] bool is_remote(ProcessId to) const {
+    return shard_of_ != nullptr && (*shard_of_)[to.value] != self_shard_;
+  }
+
+  /// Samples the delay and hands a cross-shard delivery to the remote sink
+  /// with its absolute due time. The sample happens on this (the sending)
+  /// shard — identical draw accounting to a local delivery.
+  void route_remote(ProcessId from, ProcessId to,
+                    std::shared_ptr<const Msg> payload) {
+    const Duration delay = delays_->sample(from, to, sim_.now(), rng_);
+    assert(delay >= Duration::zero());
+    // The min-delay bound is what makes conservative windows sound; a model
+    // sampling below its own bound is a bug worth dying loudly for (the
+    // engine re-checks at drain time for release builds).
+    assert(delay >= delays_->min_delay());
+    remote_sink_((*shard_of_)[to.value], sim_.now() + delay, from, to,
+                 std::move(payload));
+  }
+
   /// Schedules one delivery of a shared payload after a sampled delay. The
   /// event captures only {this, from, to, payload} — 40 bytes, comfortably
   /// inside the simulator's inline-callable budget.
   void schedule_delivery(ProcessId from, ProcessId to,
                          std::shared_ptr<const Msg> payload) {
+    if (is_remote(to)) {
+      route_remote(from, to, std::move(payload));
+      return;
+    }
     const Duration delay = delays_->sample(from, to, sim_.now(), rng_);
     assert(delay >= Duration::zero());
     sim_.schedule(delay, [this, from, to, p = std::move(payload)]() {
@@ -211,7 +279,7 @@ class Network {
   }
 
   sim::Simulation& sim_;
-  Topology topology_;
+  std::shared_ptr<const Topology> topology_;
   std::unique_ptr<DelayModel> delays_;
   Xoshiro256 rng_;
   Xoshiro256 loss_rng_;
@@ -221,6 +289,12 @@ class Network {
   double duplicate_rate_{0.0};
   SizeFn size_fn_;
   NetworkStats stats_;
+
+  // Shard routing (disabled for the serial engine: null shard map keeps
+  // every delivery on the exact code path the golden digests pin).
+  std::shared_ptr<const std::vector<std::uint32_t>> shard_of_;
+  std::uint32_t self_shard_{0};
+  RemoteSink remote_sink_;
 };
 
 }  // namespace mmrfd::net

@@ -7,7 +7,7 @@
 
 namespace mmrfd::runtime {
 
-std::unique_ptr<net::DelayModel> MmrCluster::build_delays(
+std::unique_ptr<net::DelayModel> build_mmr_delays(
     const MmrClusterConfig& config) {
   auto model = net::make_preset(config.delay_preset, config.mean_delay);
   if (!config.fast_set.empty()) {
@@ -29,8 +29,8 @@ std::unique_ptr<net::DelayModel> MmrCluster::build_delays(
 MmrCluster::MmrCluster(const MmrClusterConfig& config)
     : config_(config),
       net_(std::make_unique<MmrNetwork>(sim_, net::Topology::full(config.n),
-                                        build_delays(config), config.seed)),
-      log_(sim_),
+                                        build_mmr_delays(config), config.seed)),
+      log_(sim_, config.log_mode),
       recorder_(config.n) {
   assert(config_.f < config_.n);
   Xoshiro256 stagger_rng(derive_seed(config_.seed, "cluster.stagger"));

@@ -58,7 +58,16 @@ struct MmrClusterConfig {
   /// canonical full encoding, kept as the semantic reference the
   /// encoding-equivalence harness diffs against).
   bool delta_queries{true};
+  /// Event-log retention: kRollup folds transitions into per-pair summaries
+  /// on arrival (bounded memory for huge-n sweeps; Analysis needs kFull).
+  metrics::LogMode log_mode{metrics::LogMode::kFull};
 };
+
+/// The config's composed delay model (preset + fast-set bias + spike).
+/// Shared by the serial and sharded clusters so both deployments sample
+/// from identically-structured models.
+std::unique_ptr<net::DelayModel> build_mmr_delays(
+    const MmrClusterConfig& config);
 
 class MmrCluster {
  public:
@@ -87,9 +96,6 @@ class MmrCluster {
   [[nodiscard]] std::vector<ProcessId> alive() const;
 
  private:
-  static std::unique_ptr<net::DelayModel> build_delays(
-      const MmrClusterConfig& config);
-
   MmrClusterConfig config_;
   sim::Simulation sim_;
   std::unique_ptr<MmrNetwork> net_;

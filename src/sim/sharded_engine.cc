@@ -1,0 +1,183 @@
+#include "sim/sharded_engine.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+namespace mmrfd::sim {
+
+struct ShardedEngine::BarrierState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint32_t arrived{0};
+  std::uint64_t phase{0};
+};
+
+ShardedEngine::ShardedEngine(std::uint32_t shards, Duration window)
+    : window_(window),
+      sims_(shards),
+      queues_(static_cast<std::size_t>(shards) * shards),
+      bar_(std::make_unique<BarrierState>()) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedEngine: shards must be >= 1");
+  }
+  if (window <= Duration::zero()) {
+    throw std::invalid_argument(
+        "ShardedEngine: window must be > 0 (a zero min-delay bound cannot "
+        "order cross-shard deliveries conservatively)");
+  }
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+std::uint64_t ShardedEngine::events_fired() const {
+  std::uint64_t total = 0;
+  for (const Simulation& s : sims_) total += s.events_fired();
+  return total;
+}
+
+std::uint64_t ShardedEngine::cross_shard_posts() const {
+  std::uint64_t total = 0;
+  for (const ExchangeQueue& q : queues_) total += q.posted;
+  return total;
+}
+
+void ShardedEngine::record_error(std::string message) {
+  const std::lock_guard<std::mutex> lk(errors_mu_);
+  errors_.push_back(std::move(message));
+}
+
+void ShardedEngine::advance_window() {
+  if (abort_.load(std::memory_order_relaxed) || target_ >= deadline_) {
+    done_ = true;
+    return;
+  }
+  ++windows_run_;
+  // Adaptive boundary: nothing anywhere can fire before the earliest
+  // pending event m, so any cross-shard effect of this window is due at
+  // m + window at the soonest — run straight to there.
+  TimePoint earliest = kTimeMax;
+  for (Simulation& s : sims_) {
+    earliest = std::min(earliest, s.next_event_time());
+  }
+  if (earliest >= deadline_ || earliest == kTimeMax ||
+      deadline_ - earliest <= window_) {
+    target_ = deadline_;
+    return;
+  }
+  target_ = earliest + window_;
+}
+
+void ShardedEngine::barrier_wait(bool leader_advances) {
+  std::unique_lock<std::mutex> lk(bar_->mu);
+  const std::uint64_t phase = bar_->phase;
+  if (++bar_->arrived == sims_.size()) {
+    // Leader step: every other worker is parked on the condvar, so the
+    // advance runs with exclusive access to all engine state.
+    if (leader_advances) advance_window();
+    bar_->arrived = 0;
+    ++bar_->phase;
+    bar_->cv.notify_all();
+  } else {
+    bar_->cv.wait(lk, [&] { return bar_->phase != phase; });
+  }
+}
+
+void ShardedEngine::drain_into(std::uint32_t dst) {
+  Simulation& sim = sims_[dst];
+  const std::size_t shards = sims_.size();
+  for (std::size_t src = 0; src < shards; ++src) {
+    ExchangeQueue& q = queues_[src * shards + dst];
+    for (Posted& p : q.items) {
+      if (p.when < sim.now()) {
+        // The producer broke the min-delay contract: the destination's
+        // clock is already past the delivery time. Surfacing a hard error
+        // beats silently firing the event late (which would reorder
+        // history relative to the serial reference).
+        std::ostringstream os;
+        os << "ShardedEngine: causality violation — shard " << src
+           << " posted an event for t=" << p.when.count()
+           << "ns to shard " << dst << " whose clock is already at "
+           << sim.now().count()
+           << "ns (delay model min_delay() bound not honoured?)";
+        record_error(os.str());
+        abort_.store(true, std::memory_order_relaxed);
+        continue;
+      }
+      sim.schedule_at(p.when, std::move(p.fn));
+    }
+    q.items.clear();  // keeps capacity: steady-state drains are allocation-free
+  }
+}
+
+void ShardedEngine::worker(std::uint32_t s) {
+  while (true) {
+    if (!abort_.load(std::memory_order_relaxed)) {
+      try {
+        sims_[s].run_until(target_);
+      } catch (const std::exception& e) {
+        record_error("ShardedEngine: shard " + std::to_string(s) +
+                     " callback threw: " + e.what());
+        abort_.store(true, std::memory_order_relaxed);
+      } catch (...) {
+        record_error("ShardedEngine: shard " + std::to_string(s) +
+                     " callback threw a non-exception");
+        abort_.store(true, std::memory_order_relaxed);
+      }
+    }
+    barrier_wait(/*leader_advances=*/false);  // all run-phase posts published
+    drain_into(s);
+    barrier_wait(/*leader_advances=*/true);   // all drains done; new target
+    if (done_) break;
+  }
+}
+
+void ShardedEngine::run_until(TimePoint deadline) {
+  if (deadline <= now_) return;
+  if (deadline == kTimeMax) {
+    throw std::invalid_argument(
+        "ShardedEngine: run_until(kTimeMax) is not supported — windows need "
+        "a finite deadline");
+  }
+  deadline_ = deadline;
+  target_ = now_;
+  done_ = false;
+  abort_.store(false, std::memory_order_relaxed);
+  // Posts made from the driving thread while the engine was idle are still
+  // sitting in the exchange queues; land them now so the first window's
+  // sizing (and every shard's heap) sees them.
+  for (std::uint32_t s = 0; s < sims_.size(); ++s) drain_into(s);
+  throw_errors();
+  advance_window();  // first window (also handles "no pending events")
+
+  if (sims_.size() == 1) {
+    // Degenerate single-shard engine: no threads, no windows beyond the
+    // first — semantically identical to the serial Simulation.
+    sims_[0].run_until(deadline);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(sims_.size());
+    for (std::uint32_t s = 0; s < sims_.size(); ++s) {
+      threads.emplace_back([this, s] { worker(s); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  throw_errors();
+  now_ = deadline;
+}
+
+void ShardedEngine::throw_errors() {
+  if (errors_.empty()) return;
+  std::string joined = errors_.front();
+  for (std::size_t i = 1; i < errors_.size(); ++i) {
+    joined += "; " + errors_[i];
+  }
+  errors_.clear();
+  throw std::runtime_error(joined);
+}
+
+}  // namespace mmrfd::sim

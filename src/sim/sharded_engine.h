@@ -1,0 +1,158 @@
+// Sharded multi-core discrete-event engine.
+//
+// Partitions a simulation across S worker threads, each owning a private
+// `Simulation` (its own event heap, slab and clock), synchronized by
+// conservative time windows:
+//
+//   * Every cross-shard interaction must be posted with a delivery timestamp
+//     at least `window` after the moment it is produced (the caller derives
+//     `window` from its delay model's min_delay() bound).
+//   * The engine runs all shards in lockstep windows (T_k, T_{k+1}] with
+//     T_{k+1} - T_k <= window, so an interaction produced inside a window
+//     can only be due strictly after the window ends — shards never need to
+//     see each other's state mid-window.
+//   * Cross-shard posts accumulate in per-(src, dst) exchange queues during
+//     the run phase and are drained into the destination heaps at the
+//     window boundary. The queues need no locks or atomics: each queue is
+//     written only by its source thread during the run phase and read only
+//     by its destination thread during the drain phase, and the two phases
+//     are separated by a barrier.
+//
+// Windows are adaptive: the next boundary is `earliest pending event +
+// window`, so a globally idle stretch costs one window, not
+// idle-time / window barrier rounds.
+//
+// Determinism: for a fixed schedule of inputs the engine is deterministic
+// regardless of thread interleaving — each shard's execution is sequential,
+// and the drain order (source shards in index order, queue entries in post
+// order) fixes the (time, seq) order every exchanged event gets in its
+// destination heap. It is NOT bit-identical to the single-threaded
+// `Simulation` running the same model: the serial engine stays the semantic
+// reference, and tests/sim/engine_equivalence_test.cc checks the two agree
+// at the protocol level.
+//
+// Causality is enforced, not assumed: a drained event whose timestamp lies
+// before its destination shard's clock (i.e. a producer that violated the
+// min-delay contract) makes run_until() throw instead of silently
+// reordering history.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::sim {
+
+class ShardedEngine {
+ public:
+  /// `shards` >= 1 worker shards; `window` must be a positive lower bound on
+  /// every cross-shard delivery latency (see DelayModel::min_delay()).
+  ShardedEngine(std::uint32_t shards, Duration window);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+  ~ShardedEngine();  // out of line: BarrierState is incomplete here
+
+  [[nodiscard]] std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(sims_.size());
+  }
+  [[nodiscard]] Duration window() const { return window_; }
+
+  /// The shard-local simulation (schedule initial events directly on it).
+  [[nodiscard]] Simulation& shard(std::uint32_t s) { return sims_[s]; }
+  [[nodiscard]] const Simulation& shard(std::uint32_t s) const {
+    return sims_[s];
+  }
+
+  /// Global virtual time: the window edge every shard has reached. Only
+  /// meaningful between run_until() calls.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Hands an event to shard `dst` for execution at absolute time `when`.
+  /// Must be called either from `src`'s worker thread while it is running a
+  /// window, or from the driving thread while the engine is idle; `when`
+  /// must be at least window() after the producing moment (the min-delay
+  /// contract) — violations surface as a run_until() error at the next
+  /// drain. Same-shard work must go through shard(src).schedule_at()
+  /// directly (it has no minimum latency).
+  template <typename F>
+  void post(std::uint32_t src, std::uint32_t dst, TimePoint when, F&& fn) {
+    assert(src < sims_.size() && dst < sims_.size());
+    assert(src != dst);
+    ExchangeQueue& q = queues_[src * sims_.size() + dst];
+    q.items.push_back(Posted{when, detail::Callable(std::forward<F>(fn))});
+    ++q.posted;
+  }
+
+  /// Runs every shard to `deadline` (finite; the engine has no run_all()),
+  /// spawning one worker thread per shard and blocking until they join.
+  /// Callable repeatedly; pending events and clocks persist across calls.
+  /// Throws std::runtime_error on a causality violation or an exception
+  /// escaping a shard's event callback.
+  void run_until(TimePoint deadline);
+  void run_for(Duration d) { run_until(now_ + d); }
+
+  /// Sum of events fired across all shards.
+  [[nodiscard]] std::uint64_t events_fired() const;
+  /// Number of synchronization windows executed so far.
+  [[nodiscard]] std::uint64_t windows_run() const { return windows_run_; }
+  /// Number of events exchanged across shards so far.
+  [[nodiscard]] std::uint64_t cross_shard_posts() const;
+
+ private:
+  struct Posted {
+    TimePoint when{kTimeZero};
+    detail::Callable fn;
+  };
+  /// One direction of one (src, dst) shard pair. Phase-separated: written
+  /// by src's thread in the run phase, drained by dst's thread in the drain
+  /// phase, never touched concurrently.
+  struct ExchangeQueue {
+    std::vector<Posted> items;
+    std::uint64_t posted{0};
+  };
+
+  void worker(std::uint32_t s);
+  void drain_into(std::uint32_t dst);
+  /// Leader-only (runs under the barrier mutex with every worker parked):
+  /// picks the next window target or flags completion.
+  void advance_window();
+  void barrier_wait(bool leader_advances);
+  void record_error(std::string message);
+  /// Throws std::runtime_error joining all recorded errors (no-op if none).
+  void throw_errors();
+
+  const Duration window_;
+  std::vector<Simulation> sims_;
+  std::vector<ExchangeQueue> queues_;  // [src * shards + dst]
+
+  TimePoint now_{kTimeZero};
+  std::uint64_t windows_run_{0};
+
+  // Window-loop state. target_/done_ are written only by the barrier
+  // leader while every other worker is parked inside the barrier; the
+  // barrier's mutex hand-off publishes them.
+  TimePoint deadline_{kTimeZero};
+  TimePoint target_{kTimeZero};
+  bool done_{false};
+  std::atomic<bool> abort_{false};
+
+  // Mutex+condvar barrier (sense via phase counter). Deliberately not
+  // std::barrier: the leader step must run under the same lock that parks
+  // the other workers, and mutex/condvar synchronization is visible to
+  // ThreadSanitizer without special-casing.
+  struct BarrierState;
+  std::unique_ptr<BarrierState> bar_;
+
+  std::mutex errors_mu_;
+  std::vector<std::string> errors_;
+};
+
+}  // namespace mmrfd::sim

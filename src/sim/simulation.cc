@@ -41,6 +41,14 @@ bool Simulation::cancel(EventId id) {
   return true;
 }
 
+TimePoint Simulation::next_event_time() {
+  while (!heap_.empty() &&
+         nodes_[heap_.top().slot].generation != heap_.top().generation) {
+    heap_.pop();  // cancelled event's residue
+  }
+  return heap_.empty() ? kTimeMax : heap_.top().when;
+}
+
 void Simulation::run_until(TimePoint deadline) {
   stop_requested_ = false;
   while (!heap_.empty() && !stop_requested_) {

@@ -208,6 +208,12 @@ class Simulation {
   /// Number of live (scheduled, not yet fired/cancelled) events.
   [[nodiscard]] std::size_t events_live() const { return live_; }
 
+  /// Timestamp of the earliest pending event, or kTimeMax when the queue is
+  /// empty. Non-const: stale residue of cancelled events is popped on the
+  /// way (the same lazy sweep run_until performs). The sharded engine uses
+  /// this to size the next conservative window without firing anything.
+  [[nodiscard]] TimePoint next_event_time();
+
  private:
   static constexpr std::uint32_t kNilSlot = 0xffffffffu;
 

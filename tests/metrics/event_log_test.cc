@@ -1,0 +1,235 @@
+// EventLog retention modes: the per-pair rollup state machine, its
+// equivalence with the full-stream Analysis on a real cluster run, and the
+// memory bound that justifies rollup mode at n = 10,000.
+#include "metrics/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "metrics/analysis.h"
+#include "runtime/cluster.h"
+#include "runtime/crash_plan.h"
+#include "sim/simulation.h"
+
+namespace mmrfd::metrics {
+namespace {
+
+// Builds a log by hand, advancing a private simulation's clock via events.
+class LogBuilder {
+ public:
+  explicit LogBuilder(LogMode mode = LogMode::kFull) : log_(sim_, mode) {}
+
+  LogBuilder& at(TimePoint t) {
+    sim_.schedule_at(t, [] {});
+    sim_.run_until(t);
+    return *this;
+  }
+  LogBuilder& suspect(std::uint32_t obs, std::uint32_t subj) {
+    log_.record(ProcessId{obs}, ProcessId{subj},
+                SuspicionEventKind::kSuspected, 0);
+    return *this;
+  }
+  LogBuilder& clear(std::uint32_t obs, std::uint32_t subj) {
+    log_.record(ProcessId{obs}, ProcessId{subj}, SuspicionEventKind::kCleared,
+                0);
+    return *this;
+  }
+  LogBuilder& mistake(std::uint32_t obs, std::uint32_t subj) {
+    log_.record(ProcessId{obs}, ProcessId{subj}, SuspicionEventKind::kMistake,
+                0);
+    return *this;
+  }
+  EventLog& log() { return log_; }
+
+ private:
+  sim::Simulation sim_;
+  EventLog log_;
+};
+
+TEST(EventLogRollup, TracksEpisodesAndFinalInterval) {
+  LogBuilder b(LogMode::kRollup);
+  // Two suspicion episodes of (0, 1): the first repaired at t=2, the second
+  // open at the end; one mistake entry along the way.
+  b.at(from_seconds(1)).suspect(0, 1);
+  b.at(from_seconds(2)).clear(0, 1).mistake(0, 1);
+  b.at(from_seconds(5)).suspect(0, 1);
+
+  const auto pairs = b.log().rollup();
+  ASSERT_EQ(pairs.size(), 1u);
+  const auto& p = pairs[0];
+  EXPECT_TRUE(p.open);
+  EXPECT_EQ(p.open_since, from_seconds(5));
+  EXPECT_EQ(p.last_clear, from_seconds(2));
+  EXPECT_EQ(p.episodes, 2u);
+  EXPECT_EQ(p.mistakes, 1u);
+}
+
+TEST(EventLogRollup, RedundantTransitionsDoNotInflateEpisodes) {
+  LogBuilder b(LogMode::kRollup);
+  // Double-suspect keeps the original open_since; clear without an open
+  // interval is a no-op (mirrors Analysis, which only closes open ones).
+  b.at(from_seconds(1)).clear(0, 1);
+  b.at(from_seconds(2)).suspect(0, 1);
+  b.at(from_seconds(3)).suspect(0, 1);
+
+  const auto pairs = b.log().rollup();
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].episodes, 1u);
+  EXPECT_EQ(pairs[0].open_since, from_seconds(2));
+  EXPECT_EQ(pairs[0].last_clear, kTimeZero);
+}
+
+TEST(EventLogRollup, SortedByObserverThenSubject) {
+  LogBuilder b(LogMode::kRollup);
+  b.at(from_seconds(1)).suspect(2, 0).suspect(0, 2).suspect(0, 1);
+  const auto pairs = b.log().rollup();
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].observer, ProcessId{0});
+  EXPECT_EQ(pairs[0].subject, ProcessId{1});
+  EXPECT_EQ(pairs[1].observer, ProcessId{0});
+  EXPECT_EQ(pairs[1].subject, ProcessId{2});
+  EXPECT_EQ(pairs[2].observer, ProcessId{2});
+  EXPECT_EQ(pairs[2].subject, ProcessId{0});
+}
+
+TEST(EventLogRollup, FullModeMaintainsTheSamePairState) {
+  // The rollup is mode-independent: a full-mode log must produce the exact
+  // pair summaries a rollup-mode log does for the same transition stream.
+  auto feed = [](LogBuilder& b) {
+    b.at(from_seconds(1)).suspect(0, 1).suspect(1, 0);
+    b.at(from_seconds(2)).clear(0, 1);
+    b.at(from_seconds(4)).suspect(0, 1).mistake(1, 0);
+  };
+  LogBuilder full(LogMode::kFull);
+  LogBuilder rolled(LogMode::kRollup);
+  feed(full);
+  feed(rolled);
+
+  const auto a = full.log().rollup();
+  const auto r = rolled.log().rollup();
+  ASSERT_EQ(a.size(), r.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].observer, r[i].observer);
+    EXPECT_EQ(a[i].subject, r[i].subject);
+    EXPECT_EQ(a[i].open, r[i].open);
+    EXPECT_EQ(a[i].open_since, r[i].open_since);
+    EXPECT_EQ(a[i].last_clear, r[i].last_clear);
+    EXPECT_EQ(a[i].episodes, r[i].episodes);
+    EXPECT_EQ(a[i].mistakes, r[i].mistakes);
+  }
+  // But only full mode retains the stream itself.
+  EXPECT_EQ(full.log().events().size(), 5u);
+  EXPECT_TRUE(rolled.log().events().empty());
+  EXPECT_EQ(full.log().entries(), 5u);
+  EXPECT_EQ(rolled.log().entries(), r.size());
+}
+
+// One real deployment, analyzed both ways: the rollup summary must agree
+// with the full-stream Analysis on every headline metric. The spike plus
+// crashes generate both wrongful-suspicion churn and real detections.
+TEST(EventLogRollup, SummaryMatchesFullStreamAnalysisOnClusterRun) {
+  constexpr Duration kHorizon = from_seconds(12);
+  runtime::MmrClusterConfig cfg;
+  cfg.n = 30;
+  cfg.f = 7;
+  cfg.seed = 7;
+  cfg.pacing = from_millis(1000);
+  cfg.pacing_jitter = 0.1;
+  // Spike delays (1 ms mean x 2000 = ~2 s) overrun the pacing window, so
+  // responses land after the next query and wrongful suspicions open.
+  cfg.spike = runtime::SpikeSpec{from_seconds(4), from_seconds(5), 2000.0, {}};
+  const auto plan = runtime::CrashPlan::uniform(4, cfg.n, from_seconds(2),
+                                                from_seconds(6), cfg.seed);
+
+  runtime::MmrCluster cluster(cfg);  // kFull: both views from ONE run
+  cluster.start(plan);
+  cluster.run_for(kHorizon);
+
+  const Analysis analysis(cluster.log(), cfg.n, kHorizon);
+  const RollupSummary summary = summarize_rollup(
+      cluster.log().rollup(), cluster.log().crashes(), cfg.n);
+
+  // Detection latencies: identical sample multisets (clamped at zero).
+  std::vector<double> from_stream;
+  for (const auto& d : analysis.detections()) {
+    if (auto lat = d.latency()) {
+      from_stream.push_back(std::max(0.0, to_seconds(*lat)));
+    }
+  }
+  std::sort(from_stream.begin(), from_stream.end());
+  std::vector<double> from_rollup = summary.detection_latencies.samples();
+  std::sort(from_rollup.begin(), from_rollup.end());
+  ASSERT_FALSE(from_stream.empty());
+  EXPECT_EQ(from_stream, from_rollup);
+
+  // Completeness.
+  EXPECT_EQ(analysis.strong_completeness(), summary.strong_completeness);
+  if (summary.completeness_latency) {
+    double worst = 0.0;
+    for (const auto& s : analysis.crash_summaries()) {
+      ASSERT_TRUE(s.completeness_latency.has_value());
+      worst = std::max(worst, to_seconds(*s.completeness_latency));
+    }
+    EXPECT_DOUBLE_EQ(worst, *summary.completeness_latency);
+  }
+
+  // Wrongful suspicions: every episode between two correct processes.
+  EXPECT_EQ(analysis.false_suspicions().size(), summary.false_suspicions);
+  EXPECT_GT(summary.false_suspicions, 0u) << "spike produced no churn";
+
+  // Cleanliness: last wrongful repair, unset while any pair is stuck open.
+  const auto clean_stream = analysis.full_accuracy_stabilization();
+  ASSERT_EQ(clean_stream.has_value(), summary.clean_at.has_value());
+  if (clean_stream) {
+    EXPECT_DOUBLE_EQ(to_seconds(*clean_stream), *summary.clean_at);
+  }
+}
+
+TEST(EventLogRollup, MemoryStaysBoundedWhereFullModeGrows) {
+  // Same deployment in both modes; full retention grows with the event
+  // count, the rollup is capped by the pair count regardless of run length.
+  runtime::MmrClusterConfig cfg;
+  cfg.n = 20;
+  cfg.f = 5;
+  cfg.seed = 3;
+  cfg.pacing = from_millis(100);  // dense rounds
+  // A long spike pushing delays (~0.5 s) past the pacing keeps suspicion
+  // churn running for ~100 rounds — the full stream grows with run length.
+  cfg.spike =
+      runtime::SpikeSpec{from_seconds(2), from_seconds(12), 500.0, {}};
+
+  runtime::MmrCluster full(cfg);
+  full.start(runtime::CrashPlan::none());
+  full.run_for(from_seconds(20));
+
+  cfg.log_mode = LogMode::kRollup;
+  runtime::MmrCluster rolled(cfg);
+  rolled.start(runtime::CrashPlan::none());
+  rolled.run_for(from_seconds(20));
+
+  EXPECT_TRUE(rolled.log().events().empty());
+  // At most n*n ordered pairs can ever exist (a node can transiently
+  // suspect itself when its own response misses the pacing window).
+  const std::size_t max_pairs = static_cast<std::size_t>(cfg.n) * cfg.n;
+  EXPECT_LE(rolled.log().entries(), max_pairs);
+  EXPECT_GT(full.log().entries(), 10 * max_pairs)
+      << "full log too small for the bound to be meaningful";
+  EXPECT_LT(rolled.log().approx_retained_bytes(),
+            full.log().approx_retained_bytes() / 10);
+
+  // Identical runs modulo retention: the pair summaries agree exactly.
+  const auto a = full.log().rollup();
+  const auto b = rolled.log().rollup();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].observer, b[i].observer);
+    EXPECT_EQ(a[i].subject, b[i].subject);
+    EXPECT_EQ(a[i].episodes, b[i].episodes);
+    EXPECT_EQ(a[i].open_since, b[i].open_since);
+  }
+}
+
+}  // namespace
+}  // namespace mmrfd::metrics

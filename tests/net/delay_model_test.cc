@@ -115,6 +115,74 @@ TEST(Presets, AllProduceNonNegativeRoughlyMeanDelays) {
   }
 }
 
+// min_delay() is the sharded engine's conservative-window contract: every
+// sample from every model must be >= its own bound, across time (spike
+// windows on and off) and across endpoint roles (fast-set members or not).
+TEST(MinDelay, BoundHoldsForEveryModelAndSample) {
+  const ProcessId c{2};
+  std::vector<std::unique_ptr<DelayModel>> models;
+  models.push_back(std::make_unique<ConstantDelay>(from_millis(3)));
+  models.push_back(
+      std::make_unique<UniformDelay>(from_millis(1), from_millis(5)));
+  models.push_back(
+      std::make_unique<ExponentialDelay>(from_millis(2), from_millis(4)));
+  models.push_back(
+      std::make_unique<LogNormalDelay>(from_millis(1), from_millis(2), 0.8));
+  models.push_back(std::make_unique<ParetoDelay>(from_millis(1), from_millis(1),
+                                                 1.5, from_millis(100)));
+  // Fast-set wrapper: the scaled branch is the binding one (factor < 1).
+  models.push_back(std::make_unique<FastSetDelay>(
+      std::make_unique<ConstantDelay>(from_millis(10)),
+      std::vector<ProcessId>{kA}, 0.1, FastSetDelay::Scope::kBothDirections));
+  // Spike wrapper with factor > 1: the bound must stay the inner one.
+  models.push_back(std::make_unique<SpikeDelay>(
+      std::make_unique<ConstantDelay>(from_millis(2)), from_millis(100),
+      from_millis(200), 5.0));
+  // Composition as the clusters build it: preset + fast set + spike.
+  models.push_back(std::make_unique<SpikeDelay>(
+      std::make_unique<FastSetDelay>(make_preset(DelayPreset::kExponential,
+                                                 from_millis(10)),
+                                     std::vector<ProcessId>{kB}, 0.25,
+                                     FastSetDelay::Scope::kBothDirections),
+      from_millis(10), from_millis(50), 20.0));
+  for (auto preset :
+       {DelayPreset::kConstant, DelayPreset::kUniform,
+        DelayPreset::kExponential, DelayPreset::kLogNormal,
+        DelayPreset::kPareto}) {
+    models.push_back(make_preset(preset, from_millis(10)));
+  }
+
+  Xoshiro256 rng(11);
+  std::size_t idx = 0;
+  for (const auto& m : models) {
+    const Duration bound = m->min_delay();
+    EXPECT_GT(bound, Duration::zero()) << "model " << idx;
+    for (int i = 0; i < 5000; ++i) {
+      // Sweep `now` through the spike windows and rotate endpoints through
+      // the fast/affected sets.
+      const TimePoint now = from_millis(i % 250);
+      const ProcessId from = (i % 3 == 0) ? kA : kB;
+      const ProcessId to = (i % 3 == 1) ? kA : c;
+      EXPECT_GE(m->sample(from, to, now, rng), bound)
+          << "model " << idx << " sample " << i;
+    }
+    ++idx;
+  }
+}
+
+TEST(MinDelay, FastSetEmptyKeepsInnerBound) {
+  FastSetDelay m(std::make_unique<ConstantDelay>(from_millis(10)), {}, 0.1);
+  EXPECT_EQ(m.min_delay(), from_millis(10));
+}
+
+TEST(MinDelay, EmptySpikeWindowKeepsInnerBound) {
+  // factor < 1 would shrink the bound, but an empty [start, end) window is
+  // never applied.
+  SpikeDelay m(std::make_unique<ConstantDelay>(from_millis(10)),
+               from_millis(200), from_millis(100), 0.1);
+  EXPECT_EQ(m.min_delay(), from_millis(10));
+}
+
 TEST(Presets, ParseRoundTrips) {
   for (auto preset :
        {DelayPreset::kConstant, DelayPreset::kUniform,

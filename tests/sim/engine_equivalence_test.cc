@@ -1,0 +1,295 @@
+// Serial-vs-sharded engine equivalence harness.
+//
+// Two levels, mirroring the delta-encoding differential harness
+// (tests/core/encoding_equivalence_test.cc):
+//
+//   1. Engine level — 200+ randomized fixed-seed schedules of a synthetic
+//      token protocol, each replayed on the serial Simulation and on
+//      ShardedEngines at two shard counts. Every node's behavior is a pure
+//      function of its own RNG stream and the (timestamp-ordered) tokens it
+//      receives, and every hop obeys the min-delay contract, so the merged
+//      traces must match the serial reference EXACTLY — times, hops,
+//      values. This pins the conservative-window protocol itself: a drain
+//      that reordered, dropped, duplicated or time-shifted one delivery
+//      diffs immediately.
+//
+//   2. Cluster level — full MmrCluster vs ShardedMmrCluster deployments.
+//      These are protocol-equivalent, NOT bit-identical: a shard cannot
+//      share a delay RNG with another thread, so individual message delays
+//      differ from the serial run and suspicion instants drift by
+//      milliseconds. What must agree is the protocol-level outcome: strong
+//      completeness, the exact set of permanently-suspected processes at
+//      every correct observer (== the crash set, after a quiet tail), and
+//      the crash schedule itself.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "metrics/analysis.h"
+#include "runtime/cluster.h"
+#include "runtime/crash_plan.h"
+#include "runtime/sharded_cluster.h"
+#include "sim/sharded_engine.h"
+#include "sim/simulation.h"
+
+namespace mmrfd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Level 1: synthetic token protocol on the raw engines.
+// ---------------------------------------------------------------------------
+
+constexpr Duration kMinDelay = from_millis(1);  // the min-delay contract
+
+struct Hop {
+  TimePoint when{kTimeZero};
+  std::uint32_t node{0};
+  std::uint64_t value{0};
+
+  friend bool operator==(const Hop&, const Hop&) = default;
+};
+
+// Each node owns a private RNG; on receiving a token it logs the hop, then
+// forwards a derived value to a random node after a delay >= kMinDelay.
+// Behavior depends only on the node's received-token sequence, so ANY
+// engine that delivers the same tokens at the same times produces the same
+// trace.
+struct TokenNet {
+  std::uint32_t nodes;
+  std::vector<Xoshiro256> rngs;
+  std::vector<std::vector<Hop>> traces;  // per node: single-writer
+
+  TokenNet(std::uint32_t n, std::uint64_t seed) : nodes(n), traces(n) {
+    rngs.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      rngs.emplace_back(derive_seed(seed, "token.node", i));
+    }
+  }
+
+  [[nodiscard]] std::vector<Hop> merged() const {
+    std::vector<Hop> all;
+    for (const auto& t : traces) all.insert(all.end(), t.begin(), t.end());
+    std::sort(all.begin(), all.end(), [](const Hop& a, const Hop& b) {
+      if (a.when != b.when) return a.when < b.when;
+      if (a.node != b.node) return a.node < b.node;
+      return a.value < b.value;
+    });
+    return all;
+  }
+};
+
+struct Schedule {
+  std::uint32_t nodes{6};
+  std::uint32_t chains{3};  // independent token chains
+  int ttl{24};              // hops per chain
+  std::uint64_t seed{0};
+  Duration horizon{from_seconds(2)};
+};
+
+Schedule make_schedule(std::uint64_t seed) {
+  Xoshiro256 rng(derive_seed(seed, "equiv.schedule"));
+  Schedule s;
+  s.seed = seed;
+  s.nodes = 3 + static_cast<std::uint32_t>(rng.next_below(8));   // 3..10
+  s.chains = 1 + static_cast<std::uint32_t>(rng.next_below(4));  // 1..4
+  s.ttl = 10 + static_cast<int>(rng.next_below(30));             // 10..39
+  return s;
+}
+
+/// Drives one schedule's token protocol on either engine; the ttl countdown
+/// travels inside each scheduled event. `eng == nullptr` selects the serial
+/// Simulation.
+struct TokenPump {
+  TokenNet& net;
+  sim::Simulation* serial{nullptr};
+  sim::ShardedEngine* eng{nullptr};
+  std::vector<std::uint32_t> shard_of;  // node -> shard (sharded only)
+
+  TimePoint now_at(std::uint32_t node) {
+    return eng ? eng->shard(shard_of[node]).now() : serial->now();
+  }
+  void arrive(std::uint32_t at, std::uint64_t value, int ttl) {
+    const TimePoint now = now_at(at);
+    net.traces[at].push_back(Hop{now, at, value});
+    if (ttl <= 0) return;
+    Xoshiro256& rng = net.rngs[at];
+    const auto dst = static_cast<std::uint32_t>(rng.next_below(net.nodes));
+    const Duration extra =
+        Duration(static_cast<Duration::rep>(rng.next_double() * 2e6));
+    const TimePoint when = now + kMinDelay + extra;
+    route(at, dst, when, value * 1099511628211ULL + at, ttl - 1);
+  }
+  void route(std::uint32_t from, std::uint32_t to, TimePoint when,
+             std::uint64_t value, int ttl) {
+    if (eng != nullptr && shard_of[from] != shard_of[to]) {
+      eng->post(shard_of[from], shard_of[to], when,
+                [this, to, value, ttl] { arrive(to, value, ttl); });
+    } else {
+      sim::Simulation& sim = eng ? eng->shard(shard_of[to]) : *serial;
+      sim.schedule_at(when,
+                      [this, to, value, ttl] { arrive(to, value, ttl); });
+    }
+  }
+};
+
+// Runs one schedule; `shards` == 0 selects the serial Simulation.
+std::vector<Hop> run_schedule(const Schedule& s, std::uint32_t shards) {
+  TokenNet net(s.nodes, s.seed);
+  TokenPump pump{net, nullptr, nullptr, {}};
+
+  if (shards == 0) {
+    sim::Simulation sim;
+    pump.serial = &sim;
+    for (std::uint32_t k = 0; k < s.chains; ++k) {
+      const std::uint32_t origin = k % s.nodes;
+      sim.schedule_at(from_millis(1 + k), [&pump, origin, k, &s] {
+        pump.arrive(origin, 1000 + k, s.ttl);
+      });
+    }
+    sim.run_until(s.horizon);
+    return net.merged();
+  }
+
+  sim::ShardedEngine eng(shards, kMinDelay);
+  pump.eng = &eng;
+  pump.shard_of.resize(s.nodes);
+  for (std::uint32_t i = 0; i < s.nodes; ++i) {
+    pump.shard_of[i] = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(i) * shards) / s.nodes);
+  }
+  for (std::uint32_t k = 0; k < s.chains; ++k) {
+    const std::uint32_t origin = k % s.nodes;
+    eng.shard(pump.shard_of[origin])
+        .schedule_at(from_millis(1 + k), [&pump, origin, k, &s] {
+          pump.arrive(origin, 1000 + k, s.ttl);
+        });
+  }
+  eng.run_until(s.horizon);
+  return net.merged();
+}
+
+TEST(EngineEquivalence, TokenTracesMatchSerialExactly) {
+  // 200 randomized schedules x 2 shard counts, all diffed against serial.
+  constexpr std::uint64_t kSchedules = 200;
+  for (std::uint64_t seed = 1; seed <= kSchedules; ++seed) {
+    const Schedule s = make_schedule(seed);
+    const auto reference = run_schedule(s, /*shards=*/0);
+    ASSERT_FALSE(reference.empty()) << "schedule " << seed;
+    for (const std::uint32_t shards : {2u, 5u}) {
+      const auto sharded = run_schedule(s, shards);
+      ASSERT_EQ(reference.size(), sharded.size())
+          << "schedule " << seed << " shards " << shards;
+      EXPECT_EQ(reference, sharded)
+          << "schedule " << seed << " shards " << shards;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Level 2: full failure-detector deployments.
+// ---------------------------------------------------------------------------
+
+struct ClusterOutcome {
+  std::vector<ProcessId> crashed;  // sorted victims
+  bool strong_completeness{false};
+  // Final suspected set of every correct observer, flattened as sorted
+  // (observer, subject) pairs still open at the end of the run.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> open_pairs;
+};
+
+ClusterOutcome outcome_from(const std::vector<metrics::PairRollup>& pairs,
+                            const std::vector<metrics::CrashRecord>& crashes,
+                            std::uint32_t n) {
+  ClusterOutcome out;
+  for (const auto& c : crashes) out.crashed.push_back(c.subject);
+  std::sort(out.crashed.begin(), out.crashed.end());
+  const metrics::RollupSummary s = metrics::summarize_rollup(pairs, crashes, n);
+  out.strong_completeness = s.strong_completeness;
+  for (const auto& p : pairs) {
+    if (p.open) out.open_pairs.emplace_back(p.observer.value, p.subject.value);
+  }
+  std::sort(out.open_pairs.begin(), out.open_pairs.end());
+  return out;
+}
+
+TEST(EngineEquivalence, ClusterProtocolOutcomesMatch) {
+  // Crash window ends at 8 s; the 6 s quiet tail is ~6 rounds — enough for
+  // every correct observer's suspected set to converge on the crash set.
+  constexpr Duration kHorizon = from_seconds(14);
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    runtime::MmrClusterConfig cfg;
+    cfg.n = 40;
+    cfg.f = 10;
+    cfg.seed = seed;
+    cfg.pacing = from_millis(1000);
+    cfg.pacing_jitter = 0.1;
+    cfg.mean_delay = from_millis(1);
+    cfg.delay_preset = net::DelayPreset::kExponential;
+    const auto plan = runtime::CrashPlan::uniform(
+        5, cfg.n, from_seconds(3), from_seconds(8), seed);
+
+    runtime::MmrCluster serial(cfg);
+    serial.start(plan);
+    serial.run_for(kHorizon);
+    const ClusterOutcome ref = outcome_from(
+        serial.log().rollup(), serial.log().crashes(), cfg.n);
+
+    ASSERT_EQ(ref.crashed.size(), 5u);
+    EXPECT_TRUE(ref.strong_completeness) << "seed " << seed;
+
+    for (const std::uint32_t shards : {2u, 4u}) {
+      runtime::ShardedMmrCluster sharded(cfg, shards);
+      sharded.start(plan);
+      sharded.run_for(kHorizon);
+      const ClusterOutcome got =
+          outcome_from(sharded.rollup(), sharded.crashes(), cfg.n);
+
+      EXPECT_EQ(ref.crashed, got.crashed)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_EQ(ref.strong_completeness, got.strong_completeness)
+          << "seed " << seed << " shards " << shards;
+      // After the quiet tail both deployments must have converged to the
+      // same steady state: every correct observer suspects exactly the
+      // crashed processes (timing drift cannot change set membership).
+      EXPECT_EQ(ref.open_pairs, got.open_pairs)
+          << "seed " << seed << " shards " << shards;
+    }
+  }
+}
+
+TEST(EngineEquivalence, ShardedClusterIsDeterministic) {
+  runtime::MmrClusterConfig cfg;
+  cfg.n = 30;
+  cfg.f = 7;
+  cfg.seed = 99;
+  const auto plan = runtime::CrashPlan::uniform(3, cfg.n, from_seconds(2),
+                                                from_seconds(5), cfg.seed);
+  auto run_once = [&] {
+    runtime::ShardedMmrCluster cluster(cfg, 3);
+    cluster.start(plan);
+    cluster.run_for(from_seconds(8));
+    struct Result {
+      std::vector<metrics::PairRollup> pairs;
+      std::uint64_t events;
+    };
+    return Result{cluster.rollup(), cluster.engine().events_fired()};
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.events, b.events);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].observer, b.pairs[i].observer);
+    EXPECT_EQ(a.pairs[i].subject, b.pairs[i].subject);
+    EXPECT_EQ(a.pairs[i].open, b.pairs[i].open);
+    EXPECT_EQ(a.pairs[i].open_since, b.pairs[i].open_since);
+    EXPECT_EQ(a.pairs[i].episodes, b.pairs[i].episodes);
+  }
+}
+
+}  // namespace
+}  // namespace mmrfd
