@@ -11,6 +11,7 @@
 // cache-friendly and the serialized wire form canonical.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
 #include <span>
@@ -108,6 +109,14 @@ class ChangeJournal {
   /// Requires covers(since).
   [[nodiscard]] std::vector<ProcessId> changed_since(Epoch since) const;
 
+  /// Transient-corruption hook (self-stabilization sweeps): discards the
+  /// whole replay window and restarts the epoch counter at `new_base`, as
+  /// a memory fault clobbering the journal would. Injection use only.
+  void corrupt_reset(Epoch new_base) {
+    base_ = new_base;
+    ids_.clear();
+  }
+
  private:
   std::size_t capacity_;
   Epoch base_{0};  // number of discarded records
@@ -173,6 +182,30 @@ class DeltaState {
 
   /// Receiver side: advance seen(sender) after merging a query at `epoch`.
   void note_seen(ProcessId sender, Epoch epoch);
+
+  /// Self-stabilization guard: discards every per-sender seen watermark.
+  /// The watermarks are *assumptions* about state already merged; after a
+  /// transient memory fault they can be wrong in the dangerous direction
+  /// (too high — claiming knowledge that was lost), which silently
+  /// suppresses the need_full repair forever. Periodically dropping them
+  /// costs one full-encoding refresh per sender and bounds how long any
+  /// fabricated watermark can survive.
+  void reset_seen() { std::fill(seen_.begin(), seen_.end(), Epoch{0}); }
+
+  /// Transient-corruption hooks (self-stabilization sweeps). These bypass
+  /// every watermark invariant on purpose — a memory fault does not respect
+  /// clamping — so the sweeps can prove the need_full/full-fallback resync
+  /// path recovers from arbitrary damage. Injection use only.
+  void corrupt_acked(ProcessId peer, Epoch value) {
+    if (peer.value < acked_.size()) acked_[peer.value] = value;
+  }
+  void corrupt_seen(ProcessId sender, Epoch value) {
+    if (sender.value < seen_.size()) seen_[sender.value] = value;
+  }
+  void corrupt_journal(Epoch new_base) {
+    journal_.corrupt_reset(new_base);
+    sent_epoch_ = journal_.epoch();
+  }
 
  private:
   ChangeJournal journal_;

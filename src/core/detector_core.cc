@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/rng.h"
+
 namespace mmrfd::core {
 
 namespace {
@@ -41,6 +43,8 @@ DetectorCore::DetectorCore(const DetectorConfig& config)
   dense_tag_.assign(config_.n, 0);
   dense_kind_.assign(config_.n, 0);
   responded_.assign(config_.n, false);
+  streak_.assign(config_.n, 0);
+  skip_.assign(config_.n, false);
 }
 
 QueryMessage DetectorCore::start_query() {
@@ -50,6 +54,14 @@ QueryMessage DetectorCore::start_query() {
 
 void DetectorCore::begin_query() {
   assert(!in_progress_ || terminated_);
+  // Transient corruption can plant a self-suspicion no correct execution
+  // produces. Repair it before building this round's queries (self-defence
+  // without a witness) so they already carry the dominating mistake; in an
+  // uncorrupted run the branch never fires and schedules are untouched.
+  if (is_suspected(config_.self)) {
+    counter_ = std::max(counter_, *local_tag(config_.self) + 1);
+    add_mistake(config_.self, counter_);
+  }
   ++seq_;
   in_progress_ = true;
   rec_from_.clear();
@@ -61,6 +73,39 @@ void DetectorCore::begin_query() {
   responded_[config_.self.value] = true;
   winning_.push_back(config_.self);
   terminated_ = rec_from_.size() >= config_.quorum();
+  // Give-up skip set: peers suspected for >= K consecutive rounds are
+  // queried only on their 1/K probe rounds. At most n - quorum() peers may
+  // be skipped simultaneously (lowest ids first, deterministically) so a
+  // round can still terminate even if every skip decision is wrong.
+  if (config_.giveup_rounds > 0) {
+    std::fill(skip_.begin(), skip_.end(), false);
+    const std::uint32_t k = config_.giveup_rounds;
+    const std::size_t budget = config_.n - config_.quorum();
+    // Budget goes to the LONGEST streaks first (ties to the lowest id, for
+    // determinism). A genuinely crashed peer accumulates an unbounded
+    // streak, while a falsely suspected live peer's streak restarts on
+    // every repair — under churn an id-ordered scan hands the whole budget
+    // to falsely suspected low-id live peers and keeps querying the
+    // actually-dead ones, which both wastes the policy and (worse) starves
+    // the round of responders it needs for quorum.
+    std::vector<ProcessId> cand;
+    for (ProcessId pj : known_) {
+      if (pj.value >= streak_.size()) continue;
+      const std::uint32_t s = streak_[pj.value];
+      if (s >= k && s % k != 0) cand.push_back(pj);
+    }
+    std::sort(cand.begin(), cand.end(), [&](ProcessId a, ProcessId b) {
+      if (streak_[a.value] != streak_[b.value]) {
+        return streak_[a.value] > streak_[b.value];
+      }
+      return a.value < b.value;
+    });
+    if (cand.size() > budget) cand.resize(budget);
+    for (ProcessId pj : cand) {
+      skip_[pj.value] = true;
+      ++queries_skipped_;
+    }
+  }
   delta_.begin_round();
   round_queries_.clear();
 }
@@ -101,12 +146,14 @@ QueryMessage DetectorCore::query_for(ProcessId peer) {
     q.set_delta(true);
     std::vector<TaggedEntry> mist;
     for (ProcessId id : delta_.journal().changed_since(base)) {
-      // Every id ever touched stays in exactly one of the two sets (erase
-      // only ever accompanies a re-add), so the lookups cannot both miss.
+      // In a correct execution every id ever touched stays in exactly one
+      // of the two sets (erase only ever accompanies a re-add), but
+      // transient corruption can leave the replay window naming ids that
+      // are now in neither — absence is not gossipable, so skip them.
       if (const auto t = suspected_.tag_of(id)) {
         q.entries.push_back({id, *t});
-      } else {
-        mist.push_back({id, *mistake_.tag_of(id)});
+      } else if (const auto m = mistake_.tag_of(id)) {
+        mist.push_back({id, *m});
       }
     }
     q.suspected_count = static_cast<std::uint32_t>(q.entries.size());
@@ -161,6 +208,20 @@ void DetectorCore::finish_round() {
   ++counter_;  // T1 line 16
   ++rounds_;
   in_progress_ = false;
+  // Give-up bookkeeping: extend or reset each peer's consecutive-suspected
+  // streak against the post-suspicion-step state.
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (i == config_.self.value) continue;
+    streak_[i] = dense_kind_[i] == 1 ? streak_[i] + 1 : 0;
+  }
+  // Self-stabilization guard: periodically discard the per-sender seen
+  // watermarks (see DetectorConfig::resync_interval). The next delta query
+  // from each peer gets need_full, forcing one full refresh per sender —
+  // which bounds the lifetime of any fabricated watermark.
+  if (config_.delta_queries && config_.resync_interval > 0 &&
+      rounds_ % config_.resync_interval == 0) {
+    delta_.reset_seen();
+  }
 }
 
 ResponseMessage DetectorCore::on_query(ProcessId from,
@@ -182,9 +243,10 @@ ResponseMessage DetectorCore::on_query(ProcessId from,
     if (!newer) continue;
     if (e.id == config_.self) {
       // Self-defence (lines 23-25): I am alive; generate a mistake whose tag
-      // strictly dominates the suspicion.
+      // strictly dominates the suspicion. No correct execution puts self in
+      // the suspected set, but transient state corruption can — add_mistake
+      // erases any such entry instead of asserting it away.
       counter_ = std::max(counter_, e.tag + 1);
-      assert(!suspected_.contains(config_.self));
       add_mistake(config_.self, counter_);
     } else {
       mistake_.erase(e.id);  // line 28
@@ -210,6 +272,88 @@ ResponseMessage DetectorCore::on_query(ProcessId from,
 
   if (!epoch_miss) delta_.note_seen(from, query.epoch);
   return ResponseMessage{query.seq, query.epoch, epoch_miss};  // T2 line 38
+}
+
+void DetectorCore::inject_transient_corruption(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  const std::vector<std::uint8_t> old_kind = dense_kind_;
+
+  // Round counter: rewound (so this node's future tags go stale against
+  // state the peers already hold) or pushed ahead.
+  counter_ = rng.next_below(counter_ + 16);
+
+  // Replace both sets with arbitrary entries — including, possibly, the
+  // self-suspicion no correct execution produces. Tags land around the
+  // (already scrambled) counter.
+  suspected_.clear();
+  mistake_.clear();
+  std::fill(dense_kind_.begin(), dense_kind_.end(), std::uint8_t{0});
+  std::fill(dense_tag_.begin(), dense_tag_.end(), Tag{0});
+  const Tag tag_ceiling = counter_ + 8;
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    const double u = rng.next_double();
+    const std::uint8_t kind = u < 0.25 ? 1 : (u < 0.40 ? 2 : 0);
+    if (kind == 0) continue;
+    const Tag tag = rng.next_below(tag_ceiling);
+    if (kind == 1) {
+      suspected_.add(ProcessId{i}, tag);
+    } else {
+      mistake_.add(ProcessId{i}, tag);
+    }
+    dense_kind_[i] = kind;
+    dense_tag_[i] = tag;
+  }
+
+  // Journal: restart the replay window at an arbitrary epoch (zero, below
+  // the true epoch, or far above it), then journal every id whose
+  // classification changed — including ids corrupted to *absent*, which
+  // query_for() must tolerate finding in the window.
+  const Epoch true_epoch = delta_.epoch();
+  const std::uint64_t mode = rng.next_below(3);
+  const Epoch new_base = mode == 0   ? 0
+                         : mode == 1 ? rng.next_below(true_epoch + 1)
+                                     : true_epoch + 1000000;
+  delta_.corrupt_journal(new_base);
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (dense_kind_[i] != old_kind[i] || dense_kind_[i] != 0) {
+      delta_.record(ProcessId{i});
+    }
+  }
+
+  // Watermarks. acked: either at-or-below the journal's new base (a
+  // covered delta then replays the entire corrupted suffix) or absurdly
+  // high (forcing the full fallback) — both routes deliver every corrupted
+  // entry to its peer, which is what lets falsely-accused victims defend
+  // and the sweep converge deterministically. seen: fully arbitrary,
+  // including the dangerous too-high fabrication that silently suppresses
+  // need_full — the resync_interval guard bounds its lifetime.
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    if (rng.bernoulli(0.5)) {
+      delta_.corrupt_acked(ProcessId{i}, rng.bernoulli(0.25)
+                                             ? new_base + 1000000000
+                                             : rng.next_below(new_base + 1));
+    }
+    if (rng.bernoulli(0.5)) {
+      delta_.corrupt_seen(ProcessId{i},
+                          rng.next_below(true_epoch + 1000000));
+    }
+  }
+
+  // Observer transitions for the set diff: event logs must track what the
+  // node now (wrongly) believes — the stabilization checker feeds off them.
+  if (observer_ != nullptr) {
+    for (std::uint32_t i = 0; i < config_.n; ++i) {
+      const ProcessId id{i};
+      if (old_kind[i] == 1 && dense_kind_[i] != 1) {
+        observer_->on_cleared(id, dense_tag_[i]);
+      } else if (old_kind[i] != 1 && dense_kind_[i] == 1) {
+        observer_->on_suspected(id, dense_tag_[i]);
+      }
+      if (old_kind[i] != 2 && dense_kind_[i] == 2) {
+        observer_->on_mistake(id, dense_tag_[i]);
+      }
+    }
+  }
 }
 
 std::vector<ProcessId> DetectorCore::suspected() const {

@@ -75,6 +75,31 @@ struct DetectorConfig {
   /// (the epoch-miss fallback). 0 = auto (max(1024, 4 * n)).
   std::uint32_t delta_journal_capacity{0};
 
+  /// Crashed-peer give-up policy: once a peer has been suspected for
+  /// giveup_rounds consecutive completed rounds, query it only every
+  /// giveup_rounds-th round (a 1/K probe rate) instead of every round.
+  /// Crashed peers never ack, so every query to them degrades to the
+  /// full-encoding fallback forever — at live n=64 dead peers dominate
+  /// full_q. The probe keeps eventual accuracy intact: a falsely suspected
+  /// peer still periodically receives the suspicion and can defend, and the
+  /// number of simultaneously skipped peers is capped at n - quorum() so a
+  /// round can always still reach quorum when suspicions are false.
+  /// 0 disables (the paper's query-everyone behavior).
+  std::uint32_t giveup_rounds{8};
+
+  /// Self-stabilization guard for the delta encoding: every
+  /// resync_interval completed rounds the node discards its per-sender
+  /// seen-epoch watermarks, answering the next delta query from each peer
+  /// with need_full and forcing one full-encoding refresh. The watermarks
+  /// are unverifiable assumptions ("I merged that sender's state through
+  /// epoch e"); a transient memory fault can fabricate them too *high*,
+  /// which silently suppresses the need_full repair path forever — the
+  /// periodic reset bounds the lifetime of any such fabrication, making
+  /// re-convergence after arbitrary state corruption a guarantee instead
+  /// of a probability. Costs n-1 full queries per node per interval;
+  /// irrelevant in full mode. 0 disables.
+  std::uint32_t resync_interval{64};
+
   /// Number of responses that terminate a query. Requires n >= 1 && f < n
   /// (DetectorCore rejects anything else at construction), so n - f >= 1
   /// and no lower clamp is needed; only the ablation knob extra_quorum is
@@ -122,6 +147,14 @@ class DetectorCore final : public FailureDetector {
   /// full_query_needed(peer). Per-round results are memoized by base epoch.
   [[nodiscard]] QueryMessage query_for(ProcessId peer);
 
+  /// Give-up policy decision for the current round: false when `peer` has
+  /// been suspected for >= giveup_rounds consecutive rounds and this round
+  /// is not its 1/K probe (see DetectorConfig::giveup_rounds). Hosts skip
+  /// the send entirely. Valid after begin_query()/start_query().
+  [[nodiscard]] bool should_query(ProcessId peer) const {
+    return peer.value >= skip_.size() || !skip_[peer.value];
+  }
+
   /// Feeds a RESPONSE. Returns true exactly once per round: when the quorum
   /// (n - f)th distinct response arrives and the query terminates. Stale
   /// (old-seq) and duplicate responses are ignored.
@@ -167,6 +200,31 @@ class DetectorCore final : public FailureDetector {
 
   /// Rounds completed (finish_round() calls).
   [[nodiscard]] std::uint64_t rounds_completed() const { return rounds_; }
+
+  /// Consecutive completed rounds `peer` has spent in the suspected set
+  /// (give-up policy input; resets to 0 the moment the peer stops being
+  /// suspected).
+  [[nodiscard]] std::uint32_t suspect_streak(ProcessId peer) const {
+    return peer.value < streak_.size() ? streak_[peer.value] : 0;
+  }
+
+  /// Total sends the give-up policy elided (skip decisions made by
+  /// begin_query(), summed over all rounds).
+  [[nodiscard]] std::uint64_t queries_skipped() const {
+    return queries_skipped_;
+  }
+
+  // --- transient-fault injection -------------------------------------------
+
+  /// Self-stabilization test hook: scrambles this node's protocol state the
+  /// way a transient memory fault would — suspected/mistake sets replaced
+  /// with arbitrary entries (possibly a self-suspicion no correct execution
+  /// produces), the round counter shifted, the change journal reset to an
+  /// arbitrary epoch and the per-peer ack/seen watermarks overwritten.
+  /// Observer transitions are fired for the set diff so event logs track
+  /// what the node now (wrongly) believes. Deterministic per seed.
+  /// The sweeps assert the cluster re-converges afterwards.
+  void inject_transient_corruption(std::uint64_t seed);
 
   // --- delta-encoding observers --------------------------------------------
 
@@ -215,6 +273,13 @@ class DetectorCore final : public FailureDetector {
   std::vector<bool> responded_;      // per id < n: in rec_from_ this round
   std::vector<ProcessId> winning_;
   std::uint64_t rounds_{0};
+
+  // Give-up policy state: per-peer consecutive-suspected-round streaks
+  // (updated by finish_round()) and the current round's skip set (computed
+  // by begin_query(), capped at n - quorum() simultaneous skips).
+  std::vector<std::uint32_t> streak_;
+  std::vector<bool> skip_;
+  std::uint64_t queries_skipped_{0};
 
   // Delta encoding (maintained in every mode so flipping the flag or
   // inspecting epochs is always valid; record() is O(1)). The watermark

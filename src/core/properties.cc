@@ -172,4 +172,46 @@ MpVerdict MpChecker::check_with_quorum(std::size_t issuers,
   return best;
 }
 
+StabilizationChecker::StabilizationChecker(std::uint32_t n,
+                                           std::span<const ProcessId> crashed)
+    : n_(n),
+      crashed_(n, false),
+      view_(static_cast<std::size_t>(n) * n, 0) {
+  for (ProcessId c : crashed) {
+    if (c.value < n_) crashed_[c.value] = true;
+  }
+}
+
+void StabilizationChecker::feed(TimePoint when, ProcessId observer,
+                                ProcessId subject, bool suspected) {
+  if (observer.value >= n_ || subject.value >= n_) return;
+  if (crashed_[observer.value]) return;  // a crashed view is not evidence
+  auto& cell =
+      view_[static_cast<std::size_t>(observer.value) * n_ + subject.value];
+  const std::uint8_t next = suspected ? 1 : 0;
+  if (cell == next) return;
+  cell = next;
+  last_change_ = std::max(last_change_, when);
+}
+
+StabilizationVerdict StabilizationChecker::verdict() const {
+  StabilizationVerdict v;
+  v.stabilized_at = last_change_;
+  for (std::uint32_t o = 0; o < n_; ++o) {
+    if (crashed_[o]) continue;
+    for (std::uint32_t s = 0; s < n_; ++s) {
+      if (s == o) continue;
+      const bool suspects =
+          view_[static_cast<std::size_t>(o) * n_ + s] != 0;
+      if (crashed_[s] && !suspects) {
+        v.missing.emplace_back(ProcessId{o}, ProcessId{s});
+      } else if (!crashed_[s] && suspects) {
+        v.false_suspicions.emplace_back(ProcessId{o}, ProcessId{s});
+      }
+    }
+  }
+  v.converged = v.missing.empty() && v.false_suspicions.empty();
+  return v;
+}
+
 }  // namespace mmrfd::core

@@ -32,6 +32,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -107,6 +108,49 @@ class MpChecker {
   const PropertyRecorder& recorder_;
   std::uint32_t f_;
   std::vector<ProcessId> correct_;  // sorted
+};
+
+/// Verdict of a self-stabilization check over one execution.
+struct StabilizationVerdict {
+  /// Every correct observer's final suspicion view is exactly the crashed
+  /// set: strong completeness (all crashed suspected) + accuracy (no
+  /// correct process suspected).
+  bool converged{false};
+  /// Time of the last suspicion-view change at any correct observer — once
+  /// converged, the execution was stable from here on. Tests assert
+  /// `stabilized_at - injection_time` is bounded.
+  TimePoint stabilized_at{kTimeZero};
+  /// (observer, crashed subject) pairs the observer fails to suspect.
+  std::vector<std::pair<ProcessId, ProcessId>> missing;
+  /// (observer, correct subject) pairs the observer wrongly suspects.
+  std::vector<std::pair<ProcessId, ProcessId>> false_suspicions;
+};
+
+/// StabilizationChecker — the self-stabilization property as a trace check.
+///
+/// The adversarial sweeps perturb an execution (channel faults, transient
+/// state corruption) and then ask: did the cluster *re-converge* to the
+/// detector's specification — every correct process eventually suspects
+/// exactly the crashed processes — and how long did the repair take? Feed
+/// it every suspicion transition (suspected = true on kSuspected, false on
+/// kCleared; mistakes are view-neutral) in any order consistent with
+/// per-observer causality; transitions at crashed observers are ignored.
+class StabilizationChecker {
+ public:
+  StabilizationChecker(std::uint32_t n, std::span<const ProcessId> crashed);
+
+  /// Records that `observer` started/stopped suspecting `subject` at
+  /// `when`. Out-of-range ids are ignored (live-path robustness).
+  void feed(TimePoint when, ProcessId observer, ProcessId subject,
+            bool suspected);
+
+  [[nodiscard]] StabilizationVerdict verdict() const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<bool> crashed_;
+  std::vector<std::uint8_t> view_;  // n*n row-major: observer suspects subject
+  TimePoint last_change_{kTimeZero};
 };
 
 }  // namespace mmrfd::core

@@ -14,6 +14,7 @@
 #include "core/failure_detector.h"
 #include "live/report.h"
 #include "metrics/event_log.h"
+#include "transport/faulty_transport.h"
 #include "transport/realtime_detector.h"
 #include "transport/reliable.h"
 #include "transport/typed_transport.h"
@@ -74,6 +75,8 @@ int node_main(int argc, const char* const* argv) {
       .flag("f", "0", "max crashes tolerated (quorum = n - f)")
       .flag("base-port", "39000", "UDP port of node 0 (node i binds +i)")
       .flag("pacing-ms", "100", "inter-query pacing Delta (ms)")
+      .flag("resend-ms", "500",
+            "re-issue a quorum-short query to silent peers at this interval")
       .flag("delta", "true", "delta-encode queries")
       .flag("reliable", "false", "stack ReliableDatagram under the codec")
       .flag("rcvbuf", "0", "socket buffer bytes (0 = auto-scale with n)")
@@ -82,7 +85,18 @@ int node_main(int argc, const char* const* argv) {
       .flag("origin-ns", "0",
             "wall-clock origin (UNIX ns) event timestamps are relative to "
             "(0 = this process's start)")
-      .flag("run-s", "0", "exit after this many seconds (0 = until SIGTERM)");
+      .flag("run-s", "0", "exit after this many seconds (0 = until SIGTERM)")
+      .flag("giveup", "8",
+            "crashed-peer give-up: probe peers suspected this many "
+            "consecutive rounds at 1/K rate (0 = query everyone)")
+      .flag("resync", "64",
+            "self-stabilization resync interval in rounds (0 = off)")
+      .flag("fault-drop", "0", "adversarial channel: outgoing drop rate")
+      .flag("fault-dup", "0", "adversarial channel: duplicate rate")
+      .flag("fault-reorder", "0", "adversarial channel: reorder rate")
+      .flag("fault-corrupt", "0", "adversarial channel: byte-flip rate")
+      .flag("fault-truncate", "0", "adversarial channel: truncation rate")
+      .flag("fault-seed", "1", "adversarial channel RNG seed");
   if (!args.parse(argc, argv)) return 2;
 
   const auto n = static_cast<std::uint32_t>(args.get_int("n"));
@@ -110,11 +124,31 @@ int node_main(int argc, const char* const* argv) {
       static_cast<std::uint32_t>(args.get_int("rcvbuf"));
   transport::UdpTransport udp(ucfg);
 
+  // Adversarial channel: inserted at the very bottom of the stack, so that
+  // corrupted/truncated datagrams traverse everything a real damaged packet
+  // would — ReliableDatagram's frame parser (when stacked) and the codec.
+  transport::FaultConfig fault_cfg;
+  fault_cfg.drop_rate = args.get_double("fault-drop");
+  fault_cfg.duplicate_rate = args.get_double("fault-dup");
+  fault_cfg.reorder_rate = args.get_double("fault-reorder");
+  fault_cfg.corrupt_rate = args.get_double("fault-corrupt");
+  fault_cfg.truncate_rate = args.get_double("fault-truncate");
+  fault_cfg.seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+  const bool faulty =
+      fault_cfg.drop_rate > 0.0 || fault_cfg.duplicate_rate > 0.0 ||
+      fault_cfg.reorder_rate > 0.0 || fault_cfg.corrupt_rate > 0.0 ||
+      fault_cfg.truncate_rate > 0.0;
+  std::optional<transport::FaultyTransport> faulty_layer;
+  transport::DatagramTransport* datagrams = &udp;
+  if (faulty) {
+    faulty_layer.emplace(udp, fault_cfg);
+    datagrams = &*faulty_layer;
+  }
+
   const bool reliable = args.get_bool("reliable");
   std::optional<transport::ReliableDatagram> reliable_layer;
-  transport::DatagramTransport* datagrams = &udp;
   if (reliable) {
-    reliable_layer.emplace(udp, transport::ReliableConfig{});
+    reliable_layer.emplace(*datagrams, transport::ReliableConfig{});
     datagrams = &*reliable_layer;
   }
   transport::TypedTransport typed(*datagrams);
@@ -124,7 +158,12 @@ int node_main(int argc, const char* const* argv) {
   rcfg.detector.n = n;
   rcfg.detector.f = f;
   rcfg.detector.delta_queries = args.get_bool("delta");
+  rcfg.detector.giveup_rounds =
+      static_cast<std::uint32_t>(args.get_int("giveup"));
+  rcfg.detector.resync_interval =
+      static_cast<std::uint32_t>(args.get_int("resync"));
   rcfg.pacing = from_millis(static_cast<double>(args.get_int("pacing-ms")));
+  rcfg.resend = from_millis(static_cast<double>(args.get_int("resend-ms")));
   transport::RealTimeDetector detector(typed, rcfg);
   RecordingObserver observer(origin_ns);
   detector.set_observer(&observer);

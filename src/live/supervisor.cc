@@ -74,7 +74,28 @@ void Supervisor::spawn(Proc& p) {
       "--report=" + report,
       "--flush-ms=" + std::to_string(config_.flush.count() / 1'000'000),
       "--origin-ns=" + std::to_string(origin_ns_),
+      "--resend-ms=" + std::to_string(config_.resend.count() / 1'000'000),
+      "--giveup=" + std::to_string(config_.giveup_rounds),
+      "--resync=" + std::to_string(config_.resync_interval),
   };
+  if (config_.fault_drop > 0.0 || config_.fault_dup > 0.0 ||
+      config_.fault_reorder > 0.0 || config_.fault_corrupt > 0.0 ||
+      config_.fault_truncate > 0.0) {
+    argstrs.push_back("--fault-drop=" + std::to_string(config_.fault_drop));
+    argstrs.push_back("--fault-dup=" + std::to_string(config_.fault_dup));
+    argstrs.push_back("--fault-reorder=" +
+                      std::to_string(config_.fault_reorder));
+    argstrs.push_back("--fault-corrupt=" +
+                      std::to_string(config_.fault_corrupt));
+    argstrs.push_back("--fault-truncate=" +
+                      std::to_string(config_.fault_truncate));
+    // Distinct per node (and per incarnation) so the cluster's fault
+    // schedules are decorrelated yet reproducible.
+    argstrs.push_back(
+        "--fault-seed=" +
+        std::to_string(config_.fault_seed + 1315423911ull * p.id.value +
+                       static_cast<std::uint64_t>(p.spawns)));
+  }
   std::vector<char*> argv;
   argv.reserve(argstrs.size() + 1);
   for (std::string& s : argstrs) argv.push_back(s.data());

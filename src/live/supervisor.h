@@ -39,12 +39,27 @@ struct SupervisorConfig {
   std::uint32_t f{0};
   std::uint16_t base_port{40000};
   Duration pacing{from_millis(100)};
+  Duration resend{from_millis(500)};  ///< quorum-short query re-issue interval
   bool delta{true};
   bool reliable{false};
   std::uint32_t rcvbuf{0};          ///< per-node socket buffer (0 = auto)
   Duration flush{from_millis(200)}; ///< node report snapshot interval
   std::string node_binary;          ///< empty = default_node_binary()
   std::string report_dir;           ///< created if missing
+
+  /// Crashed-peer give-up policy (DetectorConfig::giveup_rounds).
+  std::uint32_t giveup_rounds{8};
+  /// Self-stabilization resync interval (DetectorConfig::resync_interval).
+  std::uint32_t resync_interval{64};
+
+  // Adversarial-channel knobs, forwarded to every node's FaultyTransport
+  // (all zero = no fault layer in the stack at all).
+  double fault_drop{0.0};
+  double fault_dup{0.0};
+  double fault_reorder{0.0};
+  double fault_corrupt{0.0};
+  double fault_truncate{0.0};
+  std::uint64_t fault_seed{1};
 };
 
 /// Wall-clock record of one kill actually performed.

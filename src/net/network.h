@@ -11,6 +11,13 @@
 //     independently per message), which is strictly weaker than what the
 //     protocol needs — it needs nothing.
 //
+// On top of the model sits an opt-in adversarial fault layer (loss,
+// duplication, bounded reordering, directed-edge partitions, scheduled link
+// flaps) for the self-stabilization sweeps. Every fault decision is made at
+// send time on the sending shard from dedicated RNG streams, so serial and
+// sharded runs agree per seed, and with every knob at its default the code
+// draws nothing extra — fixed-seed golden schedules stay bit-identical.
+//
 // Network is a class template over the protocol's message type (typically a
 // std::variant of the protocol's messages) so the layer stays protocol-
 // agnostic while deliveries remain statically typed.
@@ -21,6 +28,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -37,7 +46,9 @@ struct NetworkStats {
   std::uint64_t messages_delivered{0};
   std::uint64_t messages_dropped_crash{0};
   std::uint64_t messages_dropped_loss{0};
+  std::uint64_t messages_dropped_partition{0};
   std::uint64_t messages_duplicated{0};
+  std::uint64_t messages_reordered{0};
   std::uint64_t bytes_sent{0};
 };
 
@@ -63,6 +74,7 @@ class Network {
         delays_(std::move(delays)),
         rng_(derive_seed(seed, "net.delays")),
         loss_rng_(derive_seed(seed, "net.loss")),
+        fault_rng_(derive_seed(seed, "net.faults")),
         handlers_(topology_->size()),
         crashed_(topology_->size(), false) {
     assert(delays_ != nullptr);
@@ -123,6 +135,40 @@ class Network {
     duplicate_rate_ = p;
   }
 
+  /// Bounded out-of-order delivery: with probability `rate` a message's
+  /// sampled delay is stretched by an extra uniform draw in (0, window], so
+  /// messages sent later can overtake it — adversarial non-FIFO reordering
+  /// beyond what independent delay sampling already produces. Draws come
+  /// from a dedicated RNG stream on the sending shard, so serial and
+  /// sharded runs stay deterministic per seed and rate 0 (the default)
+  /// draws nothing, leaving fixed-seed golden schedules bit-identical.
+  void set_reorder(double rate, Duration window) {
+    assert(rate >= 0.0 && rate < 1.0);
+    assert(rate == 0.0 || window > Duration::zero());
+    reorder_rate_ = rate;
+    reorder_window_ = window;
+  }
+
+  /// Asymmetric partition: every from->to message is dropped until
+  /// heal_link(). Directed — block_link(a, b) leaves b->a untouched, which
+  /// is exactly the half-open failure mode the paper's model excludes.
+  void block_link(ProcessId from, ProcessId to) {
+    blocked_links_.insert(edge_key(from, to));
+  }
+
+  void heal_link(ProcessId from, ProcessId to) {
+    blocked_links_.erase(edge_key(from, to));
+  }
+
+  /// Scheduled link flap: from->to messages *sent* within [down, up) are
+  /// dropped. The check runs against send time on the sending shard — no
+  /// RNG draw, no cross-shard state — so flaps compose with shard routing.
+  void add_link_flap(ProcessId from, ProcessId to, TimePoint down,
+                     TimePoint up) {
+    assert(down < up);
+    flaps_[edge_key(from, to)].push_back(FlapInterval{down, up});
+  }
+
   /// Marks a process crashed: it stops receiving immediately. (The caller is
   /// responsible for silencing the process's own sends — hosts check
   /// is_crashed() before acting.)
@@ -146,6 +192,10 @@ class Network {
     assert(from == to || topology_->are_neighbors(from, to));
     ++stats_.messages_sent;
     if (size_fn_) stats_.bytes_sent += size_fn_(msg);
+    if (link_down(from, to)) {
+      ++stats_.messages_dropped_partition;
+      return;
+    }
     if (loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_)) {
       ++stats_.messages_dropped_loss;
       return;
@@ -165,7 +215,8 @@ class Network {
       route_remote(from, to, std::make_shared<const Msg>(std::move(msg)));
       return;
     }
-    const Duration delay = delays_->sample(from, to, sim_.now(), rng_);
+    const Duration delay =
+        delays_->sample(from, to, sim_.now(), rng_) + reorder_extra();
     assert(delay >= Duration::zero());
     sim_.schedule(delay, [this, from, to, m = std::move(msg)]() {
       deliver(from, to, m);
@@ -186,6 +237,10 @@ class Network {
     assert(payload != nullptr);
     ++stats_.messages_sent;
     if (size_fn_) stats_.bytes_sent += size_fn_(*payload);
+    if (link_down(from, to)) {
+      ++stats_.messages_dropped_partition;
+      return;
+    }
     if (loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_)) {
       ++stats_.messages_dropped_loss;
       return;
@@ -222,6 +277,10 @@ class Network {
     for (ProcessId to : neighbors) {
       ++stats_.messages_sent;
       if (size_fn_) stats_.bytes_sent += size_fn_(*payload);
+      if (link_down(from, to)) {
+        ++stats_.messages_dropped_partition;
+        continue;
+      }
       if (loss_rate_ > 0.0 && loss_rng_.bernoulli(loss_rate_)) {
         ++stats_.messages_dropped_loss;
         continue;
@@ -243,7 +302,10 @@ class Network {
   /// shard — identical draw accounting to a local delivery.
   void route_remote(ProcessId from, ProcessId to,
                     std::shared_ptr<const Msg> payload) {
-    const Duration delay = delays_->sample(from, to, sim_.now(), rng_);
+    // Reorder stretch only ever *adds* delay, so the min-delay bound below
+    // (and with it conservative-window soundness) survives fault injection.
+    const Duration delay =
+        delays_->sample(from, to, sim_.now(), rng_) + reorder_extra();
     assert(delay >= Duration::zero());
     // The min-delay bound is what makes conservative windows sound; a model
     // sampling below its own bound is a bug worth dying loudly for (the
@@ -262,11 +324,43 @@ class Network {
       route_remote(from, to, std::move(payload));
       return;
     }
-    const Duration delay = delays_->sample(from, to, sim_.now(), rng_);
+    const Duration delay =
+        delays_->sample(from, to, sim_.now(), rng_) + reorder_extra();
     assert(delay >= Duration::zero());
     sim_.schedule(delay, [this, from, to, p = std::move(payload)]() {
       deliver(from, to, *p);
     });
+  }
+
+  /// Extra delay a reordered message accrues, (0, window]. Strictly
+  /// positive so a "reordered" message genuinely lags its sampled slot.
+  /// When the knob is off this draws nothing — fixed-seed schedules with
+  /// faults disabled are bit-identical to pre-fault-layer builds.
+  [[nodiscard]] Duration reorder_extra() {
+    if (reorder_rate_ <= 0.0 || !fault_rng_.bernoulli(reorder_rate_)) {
+      return Duration::zero();
+    }
+    ++stats_.messages_reordered;
+    const double u = fault_rng_.next_double();
+    return Duration(1) + Duration(static_cast<Duration::rep>(
+                             u * static_cast<double>(reorder_window_.count())));
+  }
+
+  [[nodiscard]] static std::uint64_t edge_key(ProcessId from, ProcessId to) {
+    return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+  }
+
+  [[nodiscard]] bool link_down(ProcessId from, ProcessId to) const {
+    if (blocked_links_.empty() && flaps_.empty()) return false;
+    const std::uint64_t key = edge_key(from, to);
+    if (blocked_links_.contains(key)) return true;
+    if (const auto it = flaps_.find(key); it != flaps_.end()) {
+      const TimePoint now = sim_.now();
+      for (const auto& f : it->second) {
+        if (now >= f.down && now < f.up) return true;
+      }
+    }
+    return false;
   }
 
   void deliver(ProcessId from, ProcessId to, const Msg& msg) {
@@ -278,15 +372,25 @@ class Network {
     if (auto& h = handlers_[to.value]) h(from, msg);
   }
 
+  struct FlapInterval {
+    TimePoint down;
+    TimePoint up;
+  };
+
   sim::Simulation& sim_;
   std::shared_ptr<const Topology> topology_;
   std::unique_ptr<DelayModel> delays_;
   Xoshiro256 rng_;
   Xoshiro256 loss_rng_;
+  Xoshiro256 fault_rng_;
   std::vector<Handler> handlers_;
   std::vector<bool> crashed_;
   double loss_rate_{0.0};
   double duplicate_rate_{0.0};
+  double reorder_rate_{0.0};
+  Duration reorder_window_{Duration::zero()};
+  std::unordered_set<std::uint64_t> blocked_links_;
+  std::unordered_map<std::uint64_t, std::vector<FlapInterval>> flaps_;
   SizeFn size_fn_;
   NetworkStats stats_;
 

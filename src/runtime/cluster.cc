@@ -26,6 +26,17 @@ std::unique_ptr<net::DelayModel> build_mmr_delays(
   return model;
 }
 
+void apply_fault_knobs(MmrNetwork& net, const MmrClusterConfig& config) {
+  const auto& f = config.faults;
+  if (f.loss_rate > 0.0) net.set_loss_rate(f.loss_rate);
+  if (f.duplicate_rate > 0.0) net.set_duplicate_rate(f.duplicate_rate);
+  if (f.reorder_rate > 0.0) net.set_reorder(f.reorder_rate, f.reorder_window);
+  for (const auto& [from, to] : f.blocked_links) net.block_link(from, to);
+  for (const auto& flap : f.link_flaps) {
+    net.add_link_flap(flap.from, flap.to, flap.down, flap.up);
+  }
+}
+
 MmrCluster::MmrCluster(const MmrClusterConfig& config)
     : config_(config),
       net_(std::make_unique<MmrNetwork>(sim_, net::Topology::full(config.n),
@@ -33,6 +44,7 @@ MmrCluster::MmrCluster(const MmrClusterConfig& config)
       log_(sim_, config.log_mode),
       recorder_(config.n) {
   assert(config_.f < config_.n);
+  apply_fault_knobs(*net_, config_);
   Xoshiro256 stagger_rng(derive_seed(config_.seed, "cluster.stagger"));
   hosts_.reserve(config_.n);
   for (std::uint32_t i = 0; i < config_.n; ++i) {
@@ -43,6 +55,8 @@ MmrCluster::MmrCluster(const MmrClusterConfig& config)
     hc.detector.accept_late_responses = config_.accept_late_responses;
     hc.detector.extra_quorum = config_.extra_quorum;
     hc.detector.delta_queries = config_.delta_queries;
+    hc.detector.giveup_rounds = config_.giveup_rounds;
+    hc.detector.resync_interval = config_.resync_interval;
     hc.pacing = config_.pacing;
     hc.pacing_jitter = config_.pacing_jitter;
     hc.jitter_seed = config_.seed;

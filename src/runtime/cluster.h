@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -61,6 +62,36 @@ struct MmrClusterConfig {
   /// Event-log retention: kRollup folds transitions into per-pair summaries
   /// on arrival (bounded memory for huge-n sweeps; Analysis needs kFull).
   metrics::LogMode log_mode{metrics::LogMode::kFull};
+
+  /// Adversarial channel knobs, forwarded to every net::Network instance
+  /// (serial: the one network; sharded: each per-shard network — every
+  /// fault decision is still made on the sending shard, so runs stay
+  /// deterministic per seed). All off by default: the golden digests
+  /// require that all-knobs-off schedules stay bit-identical.
+  struct FaultSpec {
+    double loss_rate{0.0};
+    double duplicate_rate{0.0};
+    /// Reordering: fraction of messages stretched by an extra delay drawn
+    /// uniformly from (0, reorder_window].
+    double reorder_rate{0.0};
+    Duration reorder_window{from_millis(20)};
+    /// Directed edges blocked for the whole run (asymmetric partitions).
+    std::vector<std::pair<ProcessId, ProcessId>> blocked_links;
+    /// Directed edges down during [down, up) of sim time (link flaps).
+    struct Flap {
+      ProcessId from;
+      ProcessId to;
+      TimePoint down{kTimeZero};
+      TimePoint up{kTimeZero};
+    };
+    std::vector<Flap> link_flaps;
+  };
+  FaultSpec faults;
+
+  /// Crashed-peer give-up policy (see core::DetectorConfig::giveup_rounds).
+  std::uint32_t giveup_rounds{8};
+  /// Watermark self-stabilization guard (DetectorConfig::resync_interval).
+  std::uint32_t resync_interval{64};
 };
 
 /// The config's composed delay model (preset + fast-set bias + spike).
@@ -68,6 +99,10 @@ struct MmrClusterConfig {
 /// from identically-structured models.
 std::unique_ptr<net::DelayModel> build_mmr_delays(
     const MmrClusterConfig& config);
+
+/// Applies config.faults to one network instance. Shared by the serial and
+/// sharded clusters (the sharded one calls it once per shard network).
+void apply_fault_knobs(MmrNetwork& net, const MmrClusterConfig& config);
 
 class MmrCluster {
  public:

@@ -38,11 +38,16 @@ void MmrHost::begin_round() {
   if (core_.config().delta_queries) {
     delta_fan_out(net_, core_, id());
   } else {
-    core::QueryMessage q = core_.start_query();
-    // Move the query into the network's shared broadcast payload: one
-    // allocation per round shared by all n-1 delivery events, instead of a
-    // per-recipient copy of the tagged-entry vector.
-    net_.broadcast(id(), MmrMessage{std::move(q)});
+    core_.begin_query();
+    // One payload shared by every delivery event (broadcast()'s allocation
+    // profile), but fanned out as a per-peer loop so the give-up policy can
+    // skip long-suspected peers. With no skips the per-recipient rng draws
+    // are identical to broadcast().
+    auto full = std::make_shared<const MmrMessage>(core_.full_query());
+    for (ProcessId to : net_.topology().neighbors(id())) {
+      if (!core_.should_query(to)) continue;
+      net_.send_shared(id(), to, full);
+    }
   }
   // With f = n - 1 the quorum is the self-response alone and the query
   // terminates instantly.

@@ -35,12 +35,17 @@ using MmrNetwork = net::Network<MmrMessage>;
 /// topology order keeps the per-recipient rng draws identical to
 /// broadcast(), so fixed-seed schedules match the full-encoding path bit
 /// for bit — the invariant the golden digests pin. `Core` needs
-/// begin_query / full_query_needed / full_query / query_for.
+/// begin_query / full_query_needed / full_query / query_for; cores that
+/// also expose should_query (the crashed-peer give-up policy) get
+/// long-suspected peers skipped entirely.
 template <typename Core>
 void delta_fan_out(MmrNetwork& net, Core& core, ProcessId self) {
   core.begin_query();
   std::shared_ptr<const MmrMessage> full;
   for (ProcessId to : net.topology().neighbors(self)) {
+    if constexpr (requires { core.should_query(to); }) {
+      if (!core.should_query(to)) continue;
+    }
     if (core.full_query_needed(to)) {
       if (!full) {
         full = std::make_shared<const MmrMessage>(core.full_query());

@@ -46,6 +46,7 @@ ShardedMmrCluster::ShardedMmrCluster(const MmrClusterConfig& config,
     nets_.push_back(std::make_unique<MmrNetwork>(
         engine_.shard(s), topology, build_mmr_delays(config_),
         derive_seed(config_.seed, "shard.net", s)));
+    apply_fault_knobs(*nets_[s], config_);
     nets_[s]->enable_shard_routing(
         shard_of_, s,
         [this, s](std::uint32_t dst_shard, TimePoint when, ProcessId from,
@@ -72,6 +73,8 @@ ShardedMmrCluster::ShardedMmrCluster(const MmrClusterConfig& config,
     hc.detector.accept_late_responses = config_.accept_late_responses;
     hc.detector.extra_quorum = config_.extra_quorum;
     hc.detector.delta_queries = config_.delta_queries;
+    hc.detector.giveup_rounds = config_.giveup_rounds;
+    hc.detector.resync_interval = config_.resync_interval;
     hc.pacing = config_.pacing;
     hc.pacing_jitter = config_.pacing_jitter;
     hc.jitter_seed = config_.seed;
@@ -135,7 +138,9 @@ net::NetworkStats ShardedMmrCluster::stats() const {
     total.messages_delivered += s.messages_delivered;
     total.messages_dropped_crash += s.messages_dropped_crash;
     total.messages_dropped_loss += s.messages_dropped_loss;
+    total.messages_dropped_partition += s.messages_dropped_partition;
     total.messages_duplicated += s.messages_duplicated;
+    total.messages_reordered += s.messages_reordered;
     total.bytes_sent += s.bytes_sent;
   }
   return total;

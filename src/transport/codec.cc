@@ -82,8 +82,13 @@ std::optional<std::uint64_t> Decoder::uvarint() {
 std::optional<std::vector<TaggedEntry>> Decoder::entries() {
   const auto count = u32();
   if (!count) return std::nullopt;
-  // Sanity bound: each entry takes 12 bytes; reject lying prefixes early.
-  if (static_cast<std::size_t>(*count) * 12 > data_.size()) return std::nullopt;
+  // Sanity bound: each entry takes 12 bytes of the *remaining* buffer, not
+  // the whole datagram — a count that only fits if the already-consumed
+  // header were re-counted is a lying prefix, and the reserve() below must
+  // never be driven past what the buffer can actually hold.
+  if (static_cast<std::size_t>(*count) * 12 > data_.size() - pos_) {
+    return std::nullopt;
+  }
   std::vector<TaggedEntry> out;
   out.reserve(*count);
   for (std::uint32_t i = 0; i < *count; ++i) {
@@ -122,6 +127,13 @@ std::optional<core::QueryMessage> decode_query(Decoder& d) {
   const auto flags = d.u8();
   if (!seq || !flags) return std::nullopt;
   if ((*flags & ~(kQueryDelta | kQueryHasEpoch)) != 0) return std::nullopt;
+  // A delta promises the receiver an epoch to ack; every real sender tracks
+  // epochs in delta mode (epoch >= base_epoch > 0), so delta-without-epoch
+  // only arises from corrupted flag bytes. Reject rather than hand the core
+  // a message shape it never produces.
+  if ((*flags & kQueryDelta) != 0 && (*flags & kQueryHasEpoch) == 0) {
+    return std::nullopt;
+  }
   m.seq = *seq;
   if ((*flags & kQueryHasEpoch) != 0) {
     const auto epoch = d.uvarint();

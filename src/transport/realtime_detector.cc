@@ -61,60 +61,56 @@ void RealTimeDetector::driver_loop() {
     full_peers.clear();
     deltas.clear();
     const bool delta = core_.config().delta_queries;
+    const std::uint32_t n = core_.config().n;
+    std::uint32_t skipped = 0;
     WireMessage full;
-    if (delta) {
-      core_.begin_query();
-      bool full_built = false;
-      for (std::uint32_t i = 0; i < core_.config().n; ++i) {
-        const ProcessId to{i};
-        if (to == core_.config().self) continue;
-        if (core_.full_query_needed(to)) {
-          if (!full_built) {
-            full = WireMessage{core_.full_query()};
-            full_built = true;
-          }
-          full_peers.push_back(to);
-        } else {
-          deltas.emplace_back(to, WireMessage{core_.query_for(to)});
-        }
+    core_.begin_query();
+    bool full_built = false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const ProcessId to{i};
+      if (to == core_.config().self) continue;
+      // Give-up policy: peers suspected for K consecutive rounds are only
+      // probed every K-th round — a crashed peer never acks, so every
+      // query to it costs the full-encoding fallback forever otherwise.
+      if (!core_.should_query(to)) {
+        ++skipped;
+        continue;
       }
-    } else {
-      full = WireMessage{core_.start_query()};
+      if (!delta || core_.full_query_needed(to)) {
+        if (!full_built) {
+          full = WireMessage{core_.full_query()};
+          full_built = true;
+        }
+        full_peers.push_back(to);
+      } else {
+        deltas.emplace_back(to, WireMessage{core_.query_for(to)});
+      }
     }
     lock.unlock();
     const auto query_size = [](const WireMessage& m) {
       return static_cast<std::uint64_t>(
           wire_size(std::get<core::QueryMessage>(m)));
     };
-    if (delta) {
-      // Peer order (full peers, then delta peers) is irrelevant here: real
-      // transports have no seeded schedule to preserve. When EVERY peer
-      // needs the full encoding (first round, mass resync), broadcast() it
-      // — the transport serializes a broadcast once, while per-peer send()
-      // re-encodes per call.
-      if (deltas.empty() && !full_peers.empty()) {
-        transport_.broadcast(full);
-      } else {
-        for (const ProcessId to : full_peers) transport_.send(to, full);
-        for (auto& [to, msg] : deltas) transport_.send(to, msg);
-      }
-      if (!full_peers.empty()) {
-        full_queries_sent_.fetch_add(full_peers.size(),
-                                     std::memory_order_relaxed);
-        query_bytes_sent_.fetch_add(query_size(full) * full_peers.size(),
-                                    std::memory_order_relaxed);
-      }
-      delta_queries_sent_.fetch_add(deltas.size(), std::memory_order_relaxed);
-      for (const auto& [to, msg] : deltas) {
-        query_bytes_sent_.fetch_add(query_size(msg),
-                                    std::memory_order_relaxed);
-      }
-    } else {
+    // Peer order (full peers, then delta peers) is irrelevant here: real
+    // transports have no seeded schedule to preserve. When EVERY peer gets
+    // the full encoding (reference mode, first round, mass resync) and
+    // nobody is skipped, broadcast() it — the transport serializes a
+    // broadcast once, while per-peer send() re-encodes per call.
+    if (deltas.empty() && skipped == 0 && !full_peers.empty()) {
       transport_.broadcast(full);
-      const std::uint64_t peers = core_.config().n - 1;
-      full_queries_sent_.fetch_add(peers, std::memory_order_relaxed);
-      query_bytes_sent_.fetch_add(query_size(full) * peers,
+    } else {
+      for (const ProcessId to : full_peers) transport_.send(to, full);
+      for (auto& [to, msg] : deltas) transport_.send(to, msg);
+    }
+    if (!full_peers.empty()) {
+      full_queries_sent_.fetch_add(full_peers.size(),
+                                   std::memory_order_relaxed);
+      query_bytes_sent_.fetch_add(query_size(full) * full_peers.size(),
                                   std::memory_order_relaxed);
+    }
+    delta_queries_sent_.fetch_add(deltas.size(), std::memory_order_relaxed);
+    for (const auto& [to, msg] : deltas) {
+      query_bytes_sent_.fetch_add(query_size(msg), std::memory_order_relaxed);
     }
     lock.lock();
     // Wait for the quorum-th response (self counts already); re-checked on
@@ -124,6 +120,7 @@ void RealTimeDetector::driver_loop() {
     // self-contained full encoding (unconditionally mergeable, no journal
     // base to miss). That restores the reliable-channel assumption the
     // model makes and a kernel UDP path does not.
+    std::uint32_t resend_waves = 0;
     while (!stopping_ && !core_.query_terminated()) {
       if (quorum_cv_.wait_for(lock, config_.resend, [&] {
             return stopping_ || core_.query_terminated();
@@ -137,10 +134,21 @@ void RealTimeDetector::driver_loop() {
       }
       std::vector<ProcessId> silent;
       for (std::uint32_t i = 0; i < n; ++i) {
-        if (ProcessId{i} != core_.config().self && !responded[i]) {
-          silent.push_back(ProcessId{i});
-        }
+        const ProcessId to{i};
+        if (to == core_.config().self || responded[i]) continue;
+        // A peer the give-up policy elided this round was never queried:
+        // resending to it would undo the whole point of the policy (dead
+        // peers are exactly the ones that are always silent, and resends
+        // are always full encodings — the dominant full_q source at large
+        // n). But only the FIRST wave honors the skip set: a round still
+        // short of quorum after a full resend interval is evidence the
+        // skips were wrong (falsely suspected live peers skipped while the
+        // actually-dead ate the budget) — liveness beats economy, so later
+        // waves query everyone silent.
+        if (resend_waves == 0 && !core_.should_query(to)) continue;
+        silent.push_back(to);
       }
+      ++resend_waves;
       if (silent.empty()) continue;  // termination raced the timeout
       const WireMessage refresh{core_.full_query()};
       lock.unlock();

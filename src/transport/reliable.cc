@@ -32,6 +32,16 @@ bool SeqTracker::mark(std::uint64_t seq) {
     above_.erase(above_.begin());
     ++floor_;
   }
+  // Bound the out-of-order window: declare the oldest gap lost, jump the
+  // floor to the oldest outstanding seq and fold again from there.
+  while (above_.size() > max_window_) {
+    floor_ = *above_.begin();
+    above_.erase(above_.begin());
+    while (!above_.empty() && *above_.begin() == floor_ + 1) {
+      above_.erase(above_.begin());
+      ++floor_;
+    }
+  }
   return true;
 }
 
@@ -84,7 +94,8 @@ void ReliableDatagram::send(ProcessId to,
     std::lock_guard lock(mutex_);
     const std::uint64_t seq = ++next_seq_.at(to.value);
     frame = make_frame(kFrameData, self(), seq, datagram);
-    pending_.emplace(std::make_pair(to.value, seq), Pending{to, frame, 0});
+    pending_.emplace(std::make_pair(to.value, seq),
+                     Pending{to, frame, 0, std::chrono::steady_clock::now()});
     ++stats_.data_sent;
   }
   inner_.send(to, frame);
@@ -142,15 +153,23 @@ void ReliableDatagram::retransmit_loop() {
     cv_.wait_for(lock, config_.retransmit_interval,
                  [&] { return stopping_; });
     if (stopping_) return;
-    // Collect resends under the lock, send outside it.
+    // Collect resends under the lock, send outside it. Only frames at least
+    // one interval old are due — younger ones were just transmitted and
+    // their ack is plausibly still in flight.
+    const auto now = std::chrono::steady_clock::now();
     std::vector<std::pair<ProcessId, std::vector<std::uint8_t>>> resend;
     for (auto it = pending_.begin(); it != pending_.end();) {
+      if (now - it->second.last_send < config_.retransmit_interval) {
+        ++it;
+        continue;
+      }
       if (++it->second.retries > config_.max_retries) {
         ++stats_.gave_up;
         it = pending_.erase(it);
         continue;
       }
       ++stats_.retransmissions;
+      it->second.last_send = now;
       resend.emplace_back(it->second.to, it->second.frame);
       ++it;
     }

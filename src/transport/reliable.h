@@ -18,6 +18,7 @@
 // does deliver, and at-least-once transmission effort.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -36,8 +37,18 @@ namespace mmrfd::transport {
 /// Tracks which sequence numbers of one sender have been seen, compactly:
 /// everything <= floor is seen; above-floor seqs live in a set that is
 /// folded into the floor as it becomes contiguous. (Exposed for unit tests.)
+///
+/// The above-floor window is bounded: a sender that abandons a frame after
+/// max_retries leaves a gap that never fills, which would otherwise pin the
+/// fold and grow the set without bound for the life of the connection. Once
+/// the window exceeds `max_window`, the oldest gap is declared lost and the
+/// floor jumps past it; a late gap-filler is then dropped as a duplicate —
+/// old-frame loss, which the protocol above already tolerates.
 class SeqTracker {
  public:
+  explicit SeqTracker(std::size_t max_window = 4096)
+      : max_window_(max_window == 0 ? 1 : max_window) {}
+
   /// Marks `seq` seen; returns true iff it was fresh.
   bool mark(std::uint64_t seq);
 
@@ -45,6 +56,7 @@ class SeqTracker {
   [[nodiscard]] std::size_t pending_size() const { return above_.size(); }
 
  private:
+  std::size_t max_window_;
   std::uint64_t floor_{0};  // all seqs in [1, floor_] seen
   std::set<std::uint64_t> above_;
 };
@@ -90,6 +102,12 @@ class ReliableDatagram final : public DatagramTransport {
     ProcessId to;
     std::vector<std::uint8_t> frame;
     int retries{0};
+    /// When this frame last hit the wire. The retransmit loop only resends
+    /// frames at least one interval old — without this, a frame sent just
+    /// before the loop's wakeup was retransmitted microseconds after its
+    /// first transmission, double-counting retransmissions and burning a
+    /// retry it never really had.
+    std::chrono::steady_clock::time_point last_send;
   };
 
   void on_frame(std::span<const std::uint8_t> frame);

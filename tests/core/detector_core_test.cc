@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <tuple>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -668,6 +670,237 @@ TEST(DetectorCore, PaperFigureOneScenario) {
   EXPECT_EQ(b.suspected_set().tag_of(ProcessId{0}), 10u);
   (void)c.on_query(ProcessId{1}, fromB);
   EXPECT_EQ(c.suspected_set().tag_of(ProcessId{0}), 10u);
+}
+
+TEST(DetectorCore, GiveupSkipsDeadPeerAtProbeRate) {
+  // n=4, f=1, K=3: peer 3 never responds. Once its consecutive-suspected
+  // streak reaches K, it is queried only on streak % K == 0 probe rounds.
+  auto c = cfg(0, 4, 1);
+  c.giveup_rounds = 3;
+  DetectorCore d(c);
+  std::vector<bool> queried;
+  for (int round = 1; round <= 10; ++round) {
+    d.begin_query();
+    queried.push_back(d.should_query(ProcessId{3}));
+    for (const std::uint32_t r : {1u, 2u}) {
+      (void)d.on_response(ProcessId{r}, ResponseMessage{d.query_seq()});
+    }
+    ASSERT_TRUE(d.query_terminated());
+    d.finish_round();
+    EXPECT_EQ(d.suspect_streak(ProcessId{3}),
+              static_cast<std::uint32_t>(round));
+  }
+  // begin_query of round r sees streak r-1: skip when r-1 >= 3 and
+  // (r-1) % 3 != 0 — i.e. rounds 5, 6, 8, 9 skip; 4, 7, 10 probe.
+  const std::vector<bool> expected{true, true,  true, true,  false,
+                                   false, true, false, false, true};
+  EXPECT_EQ(queried, expected);
+  EXPECT_EQ(d.queries_skipped(), 4u);
+  // Responsive peers are always queried.
+  d.begin_query();
+  EXPECT_TRUE(d.should_query(ProcessId{1}));
+  EXPECT_TRUE(d.should_query(ProcessId{2}));
+}
+
+TEST(DetectorCore, GiveupStreakResetsOnRepair) {
+  auto c = cfg(0, 4, 1);
+  c.giveup_rounds = 2;
+  DetectorCore d(c);
+  for (int round = 0; round < 4; ++round) run_round(d, {1, 2});
+  EXPECT_EQ(d.suspect_streak(ProcessId{3}), 4u);
+  // Peer 3's mistake arrives via gossip: the streak must reset and the peer
+  // must be queried again immediately.
+  QueryMessage repair;
+  repair.seq = 1;
+  repair.push_mistake({ProcessId{3}, d.counter() + 1});
+  (void)d.on_query(ProcessId{1}, repair);
+  run_round(d, {1, 2, 3});
+  EXPECT_EQ(d.suspect_streak(ProcessId{3}), 0u);
+  d.begin_query();
+  EXPECT_TRUE(d.should_query(ProcessId{3}));
+}
+
+TEST(DetectorCore, GiveupCapNeverBlocksQuorum) {
+  // n=5, f=1: quorum 4, so at most n - quorum = 1 peer may be skipped at
+  // once even when two peers have qualifying streaks (equal streaks here,
+  // so the tie goes to the lowest id, deterministically).
+  auto c = cfg(0, 5, 1);
+  c.giveup_rounds = 2;
+  DetectorCore d(c);
+  // Suspect 3 and 4 via gossip so their streaks grow while 1..3 keep the
+  // rounds terminating (a responder's existing suspicion entry persists).
+  QueryMessage gossip;
+  gossip.seq = 1;
+  gossip.push_suspected({ProcessId{3}, 50});
+  gossip.push_suspected({ProcessId{4}, 50});
+  (void)d.on_query(ProcessId{1}, gossip);
+  for (int round = 0; round < 5; ++round) run_round(d, {1, 2, 3});
+  EXPECT_GE(d.suspect_streak(ProcessId{3}), 3u);
+  EXPECT_GE(d.suspect_streak(ProcessId{4}), 3u);
+  d.begin_query();
+  const int skipped = (d.should_query(ProcessId{3}) ? 0 : 1) +
+                      (d.should_query(ProcessId{4}) ? 0 : 1);
+  EXPECT_LE(skipped, 1);
+  // The cap picks the lowest id: 3 skipped, 4 still queried.
+  EXPECT_FALSE(d.should_query(ProcessId{3}));
+  EXPECT_TRUE(d.should_query(ProcessId{4}));
+}
+
+TEST(DetectorCore, GiveupBudgetPrefersLongestStreaks) {
+  // Regression: when more peers qualify than the cap allows, the budget
+  // must go to the LONGEST streaks, not the lowest ids. A genuinely
+  // crashed peer accumulates an unbounded streak while a falsely suspected
+  // live peer's streak restarts on every repair; the old id-ordered scan
+  // let falsely suspected low-id live peers eat the whole budget — every
+  // query still went to the dead peer (wasting the policy), and on the
+  // live path skipping a responsive peer the round needed for quorum froze
+  // the round permanently (observed at n=64 under 5% loss).
+  auto c = cfg(0, 5, 1);
+  c.giveup_rounds = 2;
+  DetectorCore d(c);
+  // Peer 4 suspected early (long streak), peer 3 only later (short one).
+  QueryMessage gossip;
+  gossip.seq = 1;
+  gossip.push_suspected({ProcessId{4}, 50});
+  (void)d.on_query(ProcessId{1}, gossip);
+  for (int round = 0; round < 6; ++round) run_round(d, {1, 2, 3});
+  QueryMessage late;
+  late.seq = 2;
+  late.push_suspected({ProcessId{3}, 60});
+  (void)d.on_query(ProcessId{1}, late);
+  for (int round = 0; round < 3; ++round) run_round(d, {1, 2, 3});
+  ASSERT_GT(d.suspect_streak(ProcessId{4}), d.suspect_streak(ProcessId{3}));
+  ASSERT_GE(d.suspect_streak(ProcessId{3}), 2u);
+  d.begin_query();
+  EXPECT_FALSE(d.should_query(ProcessId{4}));  // longest streak wins budget
+  EXPECT_TRUE(d.should_query(ProcessId{3}));
+}
+
+TEST(DetectorCore, GiveupZeroDisablesThePolicy) {
+  auto c = cfg(0, 4, 1);
+  c.giveup_rounds = 0;
+  DetectorCore d(c);
+  for (int round = 0; round < 12; ++round) {
+    run_round(d, {1, 2});
+    d.begin_query();
+    EXPECT_TRUE(d.should_query(ProcessId{3}));
+    for (const std::uint32_t r : {1u, 2u}) {
+      (void)d.on_response(ProcessId{r}, ResponseMessage{d.query_seq()});
+    }
+    d.finish_round();
+  }
+  EXPECT_EQ(d.queries_skipped(), 0u);
+}
+
+TEST(DetectorCore, CorruptionIsDeterministicPerSeed) {
+  const auto scrambled_state = [](std::uint64_t seed) {
+    DetectorCore d(delta_cfg(0, 6, 2));
+    for (int round = 0; round < 3; ++round) run_round(d, {1, 2, 3});
+    d.inject_transient_corruption(seed);
+    const auto sus = d.suspected_set().entries();
+    const auto mis = d.mistake_set().entries();
+    return std::tuple{d.counter(),
+                      std::vector<TaggedEntry>(sus.begin(), sus.end()),
+                      std::vector<TaggedEntry>(mis.begin(), mis.end()),
+                      d.state_epoch()};
+  };
+  EXPECT_EQ(scrambled_state(7), scrambled_state(7));
+}
+
+TEST(DetectorCore, CorruptedSelfSuspicionIsRepairedByNextQuery) {
+  // Find a corruption seed that plants the self-suspicion no correct
+  // execution produces, then check begin_query() repairs it with a
+  // dominating self-mistake before any query leaves the node.
+  bool found = false;
+  for (std::uint64_t seed = 1; seed < 200 && !found; ++seed) {
+    DetectorCore d(delta_cfg(0, 6, 2));
+    for (int round = 0; round < 2; ++round) run_round(d, {1, 2, 3});
+    d.inject_transient_corruption(seed);
+    if (!d.is_suspected(ProcessId{0})) continue;
+    found = true;
+    const Tag bad_tag = *d.suspected_set().tag_of(ProcessId{0});
+    d.begin_query();
+    EXPECT_FALSE(d.is_suspected(ProcessId{0}));
+    const auto repair = d.mistake_set().tag_of(ProcessId{0});
+    ASSERT_TRUE(repair.has_value());
+    EXPECT_GT(*repair, bad_tag);  // dominates the corrupted suspicion
+    // The round machinery is intact: queries build and the round runs.
+    for (std::uint32_t p = 1; p < 6; ++p) {
+      (void)d.query_for(ProcessId{p});
+    }
+    for (const std::uint32_t r : {1u, 2u, 3u}) {
+      (void)d.on_response(ProcessId{r}, ResponseMessage{d.query_seq()});
+    }
+    ASSERT_TRUE(d.query_terminated());
+    d.finish_round();
+  }
+  EXPECT_TRUE(found) << "no seed in [1, 200) produced a self-suspicion";
+}
+
+TEST(DetectorCore, CorruptedJournalStillBuildsWellFormedQueries) {
+  // The replay window can name ids that are now in neither set, and the
+  // watermarks can claim absurd epochs — query construction must stay
+  // total and every emitted entry must come from exactly one set.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    DetectorCore d(delta_cfg(0, 6, 2));
+    for (int round = 0; round < 4; ++round) run_round(d, {1, 2, 3});
+    d.inject_transient_corruption(seed);
+    d.begin_query();
+    for (std::uint32_t p = 1; p < 6; ++p) {
+      const QueryMessage q = d.query_for(ProcessId{p});
+      ASSERT_LE(q.suspected_count, q.entries.size());
+      for (const auto& e : q.suspected()) {
+        EXPECT_EQ(d.suspected_set().tag_of(e.id), e.tag) << "seed " << seed;
+      }
+      for (const auto& e : q.mistakes()) {
+        EXPECT_EQ(d.mistake_set().tag_of(e.id), e.tag) << "seed " << seed;
+      }
+    }
+    for (const std::uint32_t r : {1u, 2u, 3u}) {
+      (void)d.on_response(ProcessId{r}, ResponseMessage{d.query_seq()});
+    }
+    ASSERT_TRUE(d.query_terminated());
+    d.finish_round();
+  }
+}
+
+TEST(DetectorCore, ResyncIntervalDiscardsSeenWatermarks) {
+  auto c = delta_cfg(0, 4, 1);
+  c.resync_interval = 2;
+  DetectorCore d(c);
+  // Merge a query from peer 1 at epoch 5: the watermark sticks.
+  QueryMessage q;
+  q.seq = 1;
+  q.epoch = 5;
+  q.push_suspected({ProcessId{3}, 1});
+  (void)d.on_query(ProcessId{1}, q);
+  EXPECT_EQ(d.seen_epoch(ProcessId{1}), 5u);
+  run_round(d, {1, 2});
+  EXPECT_EQ(d.seen_epoch(ProcessId{1}), 5u);  // round 1: interval not hit
+  run_round(d, {1, 2});
+  // Round 2 hits the interval: every seen watermark is dropped, so the next
+  // delta from peer 1 gets a need_full answer (one full refresh per sender
+  // bounds the lifetime of any fabricated watermark).
+  EXPECT_EQ(d.seen_epoch(ProcessId{1}), 0u);
+  QueryMessage delta;
+  delta.seq = 2;
+  delta.epoch = 7;
+  delta.base_epoch = 5;
+  delta.set_delta(true);
+  const ResponseMessage r = d.on_query(ProcessId{1}, delta);
+  EXPECT_TRUE(r.need_full);
+}
+
+TEST(DetectorCore, ResyncZeroKeepsWatermarksForever) {
+  auto c = delta_cfg(0, 4, 1);
+  c.resync_interval = 0;
+  DetectorCore d(c);
+  QueryMessage q;
+  q.seq = 1;
+  q.epoch = 5;
+  (void)d.on_query(ProcessId{1}, q);
+  for (int round = 0; round < 8; ++round) run_round(d, {1, 2});
+  EXPECT_EQ(d.seen_epoch(ProcessId{1}), 5u);
 }
 
 }  // namespace

@@ -152,5 +152,83 @@ TEST(MpChecker, PrefersEarlierStabilization) {
   EXPECT_EQ(v.witness, ProcessId{1});
 }
 
+TEST(StabilizationChecker, ConvergedTraceIsExactView) {
+  // 3 nodes, node 2 crashed: both correct observers end suspecting exactly
+  // {2}; a transient false suspicion of a correct node is repaired.
+  const std::vector<ProcessId> crashed{ProcessId{2}};
+  StabilizationChecker c(3, crashed);
+  c.feed(from_seconds(1), ProcessId{0}, ProcessId{2}, true);
+  c.feed(from_seconds(1), ProcessId{1}, ProcessId{2}, true);
+  c.feed(from_seconds(2), ProcessId{0}, ProcessId{1}, true);   // false
+  c.feed(from_seconds(3), ProcessId{0}, ProcessId{1}, false);  // repaired
+  const auto v = c.verdict();
+  EXPECT_TRUE(v.converged);
+  EXPECT_EQ(v.stabilized_at, from_seconds(3));
+  EXPECT_TRUE(v.missing.empty());
+  EXPECT_TRUE(v.false_suspicions.empty());
+}
+
+TEST(StabilizationChecker, MissingSuspicionFailsConvergence) {
+  const std::vector<ProcessId> crashed{ProcessId{2}};
+  StabilizationChecker c(3, crashed);
+  c.feed(from_seconds(1), ProcessId{0}, ProcessId{2}, true);
+  // Observer 1 never suspects the crashed node.
+  const auto v = c.verdict();
+  EXPECT_FALSE(v.converged);
+  ASSERT_EQ(v.missing.size(), 1u);
+  EXPECT_EQ(v.missing[0].first, ProcessId{1});
+  EXPECT_EQ(v.missing[0].second, ProcessId{2});
+}
+
+TEST(StabilizationChecker, LingeringFalseSuspicionFailsConvergence) {
+  const std::vector<ProcessId> crashed{ProcessId{2}};
+  StabilizationChecker c(3, crashed);
+  c.feed(from_seconds(1), ProcessId{0}, ProcessId{2}, true);
+  c.feed(from_seconds(1), ProcessId{1}, ProcessId{2}, true);
+  c.feed(from_seconds(2), ProcessId{1}, ProcessId{0}, true);  // never cleared
+  const auto v = c.verdict();
+  EXPECT_FALSE(v.converged);
+  ASSERT_EQ(v.false_suspicions.size(), 1u);
+  EXPECT_EQ(v.false_suspicions[0].first, ProcessId{1});
+  EXPECT_EQ(v.false_suspicions[0].second, ProcessId{0});
+}
+
+TEST(StabilizationChecker, CrashedObserversAreIgnored) {
+  // The crashed node's own (frozen, possibly garbage) view is irrelevant,
+  // as are transitions from out-of-range ids (live-path robustness).
+  const std::vector<ProcessId> crashed{ProcessId{2}};
+  StabilizationChecker c(3, crashed);
+  c.feed(from_seconds(1), ProcessId{0}, ProcessId{2}, true);
+  c.feed(from_seconds(1), ProcessId{1}, ProcessId{2}, true);
+  c.feed(from_seconds(5), ProcessId{2}, ProcessId{0}, true);   // crashed
+  c.feed(from_seconds(6), ProcessId{9}, ProcessId{0}, true);   // bogus id
+  c.feed(from_seconds(7), ProcessId{0}, ProcessId{9}, true);   // bogus subject
+  const auto v = c.verdict();
+  EXPECT_TRUE(v.converged);
+  EXPECT_EQ(v.stabilized_at, from_seconds(1));
+}
+
+TEST(StabilizationChecker, RedundantTransitionsDoNotMoveStabilization) {
+  // Re-feeding an already-held view bit (duplicate events, full-query
+  // re-merges) must not count as churn.
+  const std::vector<ProcessId> crashed{ProcessId{1}};
+  StabilizationChecker c(2, crashed);
+  c.feed(from_seconds(1), ProcessId{0}, ProcessId{1}, true);
+  c.feed(from_seconds(9), ProcessId{0}, ProcessId{1}, true);  // no-op
+  const auto v = c.verdict();
+  EXPECT_TRUE(v.converged);
+  EXPECT_EQ(v.stabilized_at, from_seconds(1));
+}
+
+TEST(StabilizationChecker, NoCrashesMeansEmptyViews) {
+  StabilizationChecker c(2, {});
+  const auto clean = c.verdict();
+  EXPECT_TRUE(clean.converged);  // empty views match the empty crashed set
+  c.feed(from_seconds(1), ProcessId{0}, ProcessId{1}, true);
+  EXPECT_FALSE(c.verdict().converged);
+  c.feed(from_seconds(2), ProcessId{0}, ProcessId{1}, false);
+  EXPECT_TRUE(c.verdict().converged);
+}
+
 }  // namespace
 }  // namespace mmrfd::core

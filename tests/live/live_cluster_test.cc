@@ -151,5 +151,122 @@ TEST(LiveCluster, RestartedNodeResyncsViaNeedFull) {
   std::filesystem::remove_all(cfg.report_dir);
 }
 
+TEST(LiveCluster, CorruptedDatagramsAreRejectedNotFatal) {
+  // Adversarial channel on the real kernel path: every node's outgoing
+  // datagrams are randomly truncated or bit-flipped before the sendto().
+  // Damaged datagrams must die in the codec (malformed counter), never in
+  // the process (no unexpected exits, no sanitizer trips under the CI
+  // ASan/UBSan job), and the detector must still converge — the damaged
+  // queries are equivalent to loss, which the resend path absorbs.
+  constexpr std::uint32_t kN = 6;
+  constexpr std::uint32_t kVictim = 3;
+  SupervisorConfig cfg;
+  cfg.n = kN;
+  cfg.f = 2;
+  cfg.base_port = 47000;
+  cfg.pacing = from_millis(50);
+  cfg.flush = from_millis(100);
+  cfg.delta = true;
+  cfg.fault_truncate = 0.03;
+  cfg.fault_corrupt = 0.01;
+  cfg.fault_seed = 2026;
+  cfg.report_dir = fresh_report_dir("corrupt");
+
+  Supervisor supervisor(cfg);
+  const std::vector<CrashEvent> schedule = {
+      {ProcessId{kVictim}, from_seconds(2.0), std::nullopt}};
+  const LiveRunResult result = supervisor.run(schedule, from_seconds(8));
+
+  // No crash: the only dead process is the planned SIGKILL victim.
+  ASSERT_EQ(result.crashes.size(), 1u);
+  EXPECT_EQ(result.unexpected_exits, 0u);
+  EXPECT_EQ(result.missing_reports, 0u);
+
+  // Damaged datagrams actually reached the decoders and were rejected.
+  EXPECT_GT(result.malformed, 0u);
+
+  // Properties hold through the noise: every survivor converged on the
+  // victim and kept making rounds.
+  EXPECT_TRUE(result.strong_completeness);
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    if (i == kVictim) continue;
+    const NodeReport* r = final_report(result, i);
+    ASSERT_NE(r, nullptr) << "survivor " << i << " has no report";
+    EXPECT_GT(r->rounds, 0u);
+    EXPECT_NE(std::find(r->suspected.begin(), r->suspected.end(), kVictim),
+              r->suspected.end())
+        << "survivor " << i << " does not suspect the victim";
+  }
+
+  std::filesystem::remove_all(cfg.report_dir);
+}
+
+TEST(LiveCluster, GiveupPolicyCutsFullQueriesAtScale) {
+  // The give-up policy's reason to exist: at n=64 with several dead peers,
+  // every query to a dead peer degrades to the full-encoding fallback —
+  // their journal ack stops advancing while the survivors' journals keep
+  // churning, so the stale ack falls out of the replay window — and every
+  // resend interval used to re-send them another full query on top. The
+  // drop rate below supplies that churn (a perfectly quiet cluster freezes
+  // its journal after the kill and keeps covering the victims' last ack,
+  // which no real deployment does). Two identical runs — give-up on vs
+  // off — must show a large drop in full_queries_sent, with strong
+  // completeness intact on the policy run (the 1/K probe keeps eventual
+  // accuracy, the cap keeps quorum reachable).
+  constexpr std::uint32_t kN = 64;
+  const std::vector<CrashEvent> schedule = {
+      {ProcessId{58}, from_seconds(2.0), std::nullopt},
+      {ProcessId{59}, from_seconds(2.0), std::nullopt},
+      {ProcessId{60}, from_seconds(2.0), std::nullopt},
+      {ProcessId{61}, from_seconds(2.2), std::nullopt},
+      {ProcessId{62}, from_seconds(2.2), std::nullopt},
+      {ProcessId{63}, from_seconds(2.2), std::nullopt},
+  };
+  const auto run_once = [&](std::uint32_t giveup, std::uint16_t base_port,
+                            const std::string& tag) {
+    SupervisorConfig cfg;
+    cfg.n = kN;
+    cfg.f = 8;
+    cfg.base_port = base_port;
+    cfg.pacing = from_millis(50);
+    cfg.resend = from_millis(100);  // recover lost responses quickly
+    cfg.flush = from_millis(250);
+    cfg.delta = true;
+    cfg.giveup_rounds = giveup;
+    // Low enough that quorum is usually reached without a resend wave
+    // (waves full-refresh silent LIVE peers identically in both runs and
+    // would drown the dead-peer signal), high enough for steady journal
+    // churn that pushes the victims' stale acks out of the replay window.
+    cfg.fault_drop = 0.01;
+    cfg.fault_seed = 404;
+    cfg.report_dir = fresh_report_dir(tag);
+    Supervisor supervisor(cfg);
+    const LiveRunResult result = supervisor.run(schedule, from_seconds(9));
+    std::filesystem::remove_all(cfg.report_dir);
+    return result;
+  };
+
+  const LiveRunResult with_policy = run_once(8, 48000, "giveup_on");
+  const LiveRunResult without_policy = run_once(0, 48100, "giveup_off");
+
+  ASSERT_EQ(with_policy.crashes.size(), 6u);
+  EXPECT_EQ(with_policy.unexpected_exits, 0u);
+  EXPECT_TRUE(with_policy.strong_completeness);
+
+  ASSERT_EQ(without_policy.crashes.size(), 6u);
+  EXPECT_EQ(without_policy.unexpected_exits, 0u);
+
+  // The headline: skipping settled-dead peers (and not resending to them)
+  // must cut the full-query volume hard. The 2/3 bound is deliberately
+  // loose — the true ratio is closer to 1/4 (7/8 of dead-peer queries
+  // skipped plus all their resends) — so CI jitter in round counts cannot
+  // flake it.
+  EXPECT_GT(without_policy.full_queries_sent, 0u);
+  EXPECT_LT(with_policy.full_queries_sent,
+            without_policy.full_queries_sent * 2 / 3)
+      << "give-up on: " << with_policy.full_queries_sent
+      << " give-up off: " << without_policy.full_queries_sent;
+}
+
 }  // namespace
 }  // namespace mmrfd::live

@@ -277,5 +277,95 @@ TEST(Network, SparseTopologyRestrictsBroadcast) {
   EXPECT_EQ(receivers, (std::vector<std::uint32_t>{1, 4}));
 }
 
+TEST(Network, BlockedLinkIsDirected) {
+  Fixture f(3);
+  int to_1 = 0;
+  int to_0 = 0;
+  f.net.set_handler(ProcessId{1}, [&](ProcessId, const Msg&) { ++to_1; });
+  f.net.set_handler(ProcessId{0}, [&](ProcessId, const Msg&) { ++to_0; });
+  f.net.block_link(ProcessId{0}, ProcessId{1});
+  f.net.send(ProcessId{0}, ProcessId{1}, Msg{1});  // blocked direction
+  f.net.send(ProcessId{1}, ProcessId{0}, Msg{2});  // reverse stays up
+  f.net.send(ProcessId{2}, ProcessId{1}, Msg{3});  // other senders unaffected
+  f.sim.run_all();
+  EXPECT_EQ(to_1, 1);  // only p2's message
+  EXPECT_EQ(to_0, 1);
+  EXPECT_EQ(f.net.stats().messages_dropped_partition, 1u);
+
+  f.net.heal_link(ProcessId{0}, ProcessId{1});
+  f.net.send(ProcessId{0}, ProcessId{1}, Msg{4});
+  f.sim.run_all();
+  EXPECT_EQ(to_1, 2);
+}
+
+TEST(Network, LinkFlapDropsOnlyInsideWindow) {
+  Fixture f(2);
+  int delivered = 0;
+  f.net.set_handler(ProcessId{1}, [&](ProcessId, const Msg&) { ++delivered; });
+  f.net.add_link_flap(ProcessId{0}, ProcessId{1}, from_millis(10),
+                      from_millis(20));
+  // Before the flap: goes through.
+  f.net.send(ProcessId{0}, ProcessId{1}, Msg{1});
+  f.sim.run_until(from_millis(12));
+  // Inside [down, up): dropped at send time.
+  f.net.send(ProcessId{0}, ProcessId{1}, Msg{2});
+  f.sim.run_until(from_millis(20));
+  // At `up` the link is back ([down, up) is half-open).
+  f.net.send(ProcessId{0}, ProcessId{1}, Msg{3});
+  f.sim.run_all();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(f.net.stats().messages_dropped_partition, 1u);
+}
+
+TEST(Network, ReorderingOnlyAddsDelayAndCounts) {
+  // The reorder knob stretches a sampled fraction of deliveries by up to
+  // the window — it may only ever ADD delay (the sharded engine's
+  // conservative time windows assume min_delay is a lower bound).
+  Fixture f(2);
+  std::vector<TimePoint> arrivals;
+  f.net.set_handler(ProcessId{1}, [&](ProcessId, const Msg&) {
+    arrivals.push_back(f.sim.now());
+  });
+  f.net.set_reorder(0.5, from_millis(30));
+  for (int i = 0; i < 200; ++i) {
+    f.net.send(ProcessId{0}, ProcessId{1}, Msg{i});
+  }
+  f.sim.run_all();
+  ASSERT_EQ(arrivals.size(), 200u);
+  const auto& s = f.net.stats();
+  EXPECT_GT(s.messages_reordered, 50u);
+  EXPECT_LT(s.messages_reordered, 150u);
+  for (const TimePoint t : arrivals) {
+    EXPECT_GE(t, from_millis(1));                   // never below min delay
+    EXPECT_LE(t, from_millis(1) + from_millis(30));  // bounded stretch
+  }
+}
+
+TEST(Network, ReorderDeterministicPerSeedAndOffByDefault) {
+  const auto arrival_trace = [](double rate) {
+    sim::Simulation sim;
+    TestNetwork net(sim, Topology::full(2),
+                    std::make_unique<ConstantDelay>(from_millis(1)),
+                    /*seed=*/42);
+    if (rate > 0.0) net.set_reorder(rate, from_millis(10));
+    std::vector<TimePoint> arrivals;
+    net.set_handler(ProcessId{1}, [&](ProcessId, const Msg&) {
+      arrivals.push_back(sim.now());
+    });
+    for (int i = 0; i < 100; ++i) {
+      net.send(ProcessId{0}, ProcessId{1}, Msg{i});
+    }
+    sim.run_all();
+    return arrivals;
+  };
+  // Same seed, same schedule — the fault RNG is its own stream.
+  EXPECT_EQ(arrival_trace(0.3), arrival_trace(0.3));
+  // Knob off: no draws, bit-identical to the pre-fault-layer schedule
+  // (every arrival at exactly the constant delay).
+  for (const TimePoint t : arrival_trace(0.0)) {
+    EXPECT_EQ(t, from_millis(1));
+  }
+}
+
 }  // namespace
 }  // namespace mmrfd::net

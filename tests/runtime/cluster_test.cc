@@ -165,11 +165,16 @@ TEST(MmrCluster, GoldenDigestPinnedAcrossRefactors) {
         CrashPlan::uniform(2, 8, from_seconds(1), from_seconds(5), cfg.seed);
     cluster.start(plan);
     cluster.run_for(from_seconds(15));
-    EXPECT_EQ(golden::digest(cluster), 10770062877740138721ull)
+    // Recaptured when the crashed-peer give-up policy (giveup_rounds = 8,
+    // on by default) landed: peers suspected for 8 consecutive rounds are
+    // probed at 1/8 rate, so crash scenarios send fewer messages and fire
+    // fewer events than the seed schedule. Knobs-off schedules (no crashes,
+    // fault injection disabled) remain bit-identical to the seed.
+    EXPECT_EQ(golden::digest(cluster), 1586163140151488053ull)
         << "delta=" << delta;
-    EXPECT_EQ(cluster.network().stats().messages_sent, 11772u)
+    EXPECT_EQ(cluster.network().stats().messages_sent, 10657u)
         << "delta=" << delta;
-    EXPECT_EQ(cluster.simulation().events_fired(), 12712u)
+    EXPECT_EQ(cluster.simulation().events_fired(), 11601u)
         << "delta=" << delta;
   }
   for (const bool delta : {false, true}) {
@@ -191,14 +196,14 @@ TEST(MmrCluster, GoldenDigestPinnedAcrossRefactors) {
     cluster.run_for(from_seconds(12));
     // Log digest recaptured once after the no-op-mistake dedup (observers
     // now see mistake *transitions*; the seed logged a kMistake per
-    // tied-tag re-merge). messages_sent and events_fired are bit-identical
-    // to the seed implementation: neither the dedup nor the delta encoding
-    // changes what the protocol does or when.
-    EXPECT_EQ(golden::digest(cluster), 14751400840057329436ull)
+    // tied-tag re-merge), then again — together with messages_sent and
+    // events_fired — when the default-on give-up policy thinned the
+    // crash-scenario schedule (see the comment on the first scenario).
+    EXPECT_EQ(golden::digest(cluster), 14254734735516408661ull)
         << "delta=" << delta;
-    EXPECT_EQ(cluster.network().stats().messages_sent, 108754u)
+    EXPECT_EQ(cluster.network().stats().messages_sent, 104550u)
         << "delta=" << delta;
-    EXPECT_EQ(cluster.simulation().events_fired(), 111223u)
+    EXPECT_EQ(cluster.simulation().events_fired(), 106991u)
         << "delta=" << delta;
   }
 }
@@ -227,8 +232,11 @@ TEST(MmrCluster, GoldenDeltaWireBytesPinned) {
   const auto full_bytes = run_bytes(false);
   const auto delta_bytes = run_bytes(true);
   // Recapture both constants together if the wire format changes on purpose.
-  EXPECT_EQ(full_bytes, 332780u);
-  EXPECT_EQ(delta_bytes, 256105u);
+  // Recaptured with the give-up-policy schedule change (fewer queries to
+  // settled-suspected peers after the crash window — see the golden-digest
+  // comments above); the wire format itself is unchanged.
+  EXPECT_EQ(full_bytes, 282902u);
+  EXPECT_EQ(delta_bytes, 211728u);
   EXPECT_LT(delta_bytes, full_bytes);
 }
 

@@ -1,0 +1,244 @@
+// FaultyTransport — the adversarial-channel decorator for real transports.
+//
+// These tests pin the decorator's contract: byte-exact passthrough with all
+// knobs off, deterministic fault schedules per seed, duplicate/drop
+// accounting, the one-slot holdback reorder (delivery still lossless), and
+// corruption/truncation that always emits a *different* or *shorter*
+// datagram — never a crash, never a stealth drop at shutdown.
+#include "transport/faulty_transport.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "transport/inmemory_transport.h"
+
+namespace mmrfd::transport {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <typename Cond>
+bool eventually(Cond cond, std::chrono::milliseconds budget = 10000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return cond();
+}
+
+/// Thread-safe recorder of everything the far endpoint received.
+class Sink {
+ public:
+  void attach(DatagramTransport& t) {
+    t.set_handler([this](std::span<const std::uint8_t> d) {
+      std::lock_guard lock(mutex_);
+      received_.emplace_back(d.begin(), d.end());
+    });
+  }
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> snapshot() const {
+    std::lock_guard lock(mutex_);
+    return received_;
+  }
+  [[nodiscard]] std::size_t count() const {
+    std::lock_guard lock(mutex_);
+    return received_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::vector<std::uint8_t>> received_;
+};
+
+/// The faulty side of these tests only sends, but InMemoryHub asserts (in
+/// debug builds) that every started endpoint has a receive handler.
+void start_send_only(DatagramTransport& t) {
+  t.set_handler([](std::span<const std::uint8_t>) {});
+  t.start();
+}
+
+std::vector<std::uint8_t> payload(std::uint32_t i) {
+  return {static_cast<std::uint8_t>(i), static_cast<std::uint8_t>(i >> 8),
+          static_cast<std::uint8_t>(i >> 16),
+          static_cast<std::uint8_t>(i >> 24), 0xAB, 0xCD};
+}
+
+TEST(FaultyTransport, AllKnobsOffIsByteExactPassthrough) {
+  InMemoryHub hub(2);
+  FaultyTransport faulty(hub.endpoint(ProcessId{0}), FaultConfig{});
+  Sink sink;
+  sink.attach(hub.endpoint(ProcessId{1}));
+  start_send_only(faulty);
+  hub.endpoint(ProcessId{1}).start();
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    faulty.send(ProcessId{1}, payload(i));
+  }
+  ASSERT_TRUE(eventually([&] { return sink.count() == 50; }));
+  const auto got = sink.snapshot();
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(got[i], payload(i)) << i;
+  }
+  const auto s = faulty.stats();
+  EXPECT_EQ(s.sent, 50u);
+  EXPECT_EQ(s.dropped + s.duplicated + s.reordered + s.corrupted + s.truncated,
+            0u);
+  faulty.stop();
+}
+
+TEST(FaultyTransport, FaultScheduleIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    InMemoryHub hub(2);
+    FaultConfig cfg;
+    cfg.drop_rate = 0.2;
+    cfg.duplicate_rate = 0.2;
+    cfg.reorder_rate = 0.2;
+    cfg.corrupt_rate = 0.2;
+    cfg.truncate_rate = 0.2;
+    cfg.seed = seed;
+    FaultyTransport faulty(hub.endpoint(ProcessId{0}), cfg);
+    start_send_only(faulty);
+    for (std::uint32_t i = 0; i < 500; ++i) {
+      faulty.send(ProcessId{1}, payload(i));
+    }
+    const auto s = faulty.stats();
+    faulty.stop();
+    return s;
+  };
+  const auto a = run(99);
+  const auto b = run(99);
+  const auto c = run(100);
+  EXPECT_EQ(a.dropped, b.dropped);
+  EXPECT_EQ(a.duplicated, b.duplicated);
+  EXPECT_EQ(a.reordered, b.reordered);
+  EXPECT_EQ(a.corrupted, b.corrupted);
+  EXPECT_EQ(a.truncated, b.truncated);
+  // Different seed, different schedule (all five counters agreeing across
+  // seeds on 500 draws would mean the seed is ignored).
+  EXPECT_TRUE(a.dropped != c.dropped || a.duplicated != c.duplicated ||
+              a.reordered != c.reordered || a.corrupted != c.corrupted ||
+              a.truncated != c.truncated);
+}
+
+TEST(FaultyTransport, ReorderIsLosslessAndActuallyReorders) {
+  InMemoryHub hub(2);
+  FaultConfig cfg;
+  cfg.reorder_rate = 0.5;
+  cfg.seed = 7;
+  FaultyTransport faulty(hub.endpoint(ProcessId{0}), cfg);
+  Sink sink;
+  sink.attach(hub.endpoint(ProcessId{1}));
+  start_send_only(faulty);
+  hub.endpoint(ProcessId{1}).start();
+  constexpr std::uint32_t kSends = 400;
+  for (std::uint32_t i = 0; i < kSends; ++i) {
+    faulty.send(ProcessId{1}, payload(i));
+  }
+  faulty.stop();  // flushes the holdback slot — nothing may be lost
+  ASSERT_TRUE(eventually([&] { return sink.count() == kSends; }));
+  EXPECT_GT(faulty.stats().reordered, 50u);
+
+  std::vector<std::uint32_t> order;
+  for (const auto& d : sink.snapshot()) {
+    ASSERT_EQ(d.size(), 6u);
+    order.push_back(static_cast<std::uint32_t>(d[0]) |
+                    (static_cast<std::uint32_t>(d[1]) << 8) |
+                    (static_cast<std::uint32_t>(d[2]) << 16) |
+                    (static_cast<std::uint32_t>(d[3]) << 24));
+  }
+  // Lossless: a permutation of everything sent.
+  auto sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::uint32_t i = 0; i < kSends; ++i) EXPECT_EQ(sorted[i], i);
+  // Out of order: at least one adjacent inversion survived.
+  std::size_t inversions = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) ++inversions;
+  }
+  EXPECT_GT(inversions, 0u);
+  // Bounded: the one-slot holdback displaces a datagram by at most one
+  // position relative to the sends that overtook it... which means each id
+  // lands within 2 of its slot.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    EXPECT_LE(order[i] > i ? order[i] - i : i - order[i], 2u) << i;
+  }
+}
+
+TEST(FaultyTransport, DuplicatesAreDeliveredTwice) {
+  InMemoryHub hub(2);
+  FaultConfig cfg;
+  cfg.duplicate_rate = 1.0;
+  FaultyTransport faulty(hub.endpoint(ProcessId{0}), cfg);
+  Sink sink;
+  sink.attach(hub.endpoint(ProcessId{1}));
+  start_send_only(faulty);
+  hub.endpoint(ProcessId{1}).start();
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    faulty.send(ProcessId{1}, payload(i));
+  }
+  ASSERT_TRUE(eventually([&] { return sink.count() == 40; }));
+  EXPECT_EQ(faulty.stats().duplicated, 20u);
+  faulty.stop();
+}
+
+TEST(FaultyTransport, TruncationEmitsStrictPrefixes) {
+  InMemoryHub hub(2);
+  FaultConfig cfg;
+  cfg.truncate_rate = 1.0;
+  cfg.seed = 3;
+  FaultyTransport faulty(hub.endpoint(ProcessId{0}), cfg);
+  Sink sink;
+  sink.attach(hub.endpoint(ProcessId{1}));
+  start_send_only(faulty);
+  hub.endpoint(ProcessId{1}).start();
+  constexpr std::uint32_t kSends = 200;
+  for (std::uint32_t i = 0; i < kSends; ++i) {
+    faulty.send(ProcessId{1}, payload(i));
+  }
+  EXPECT_EQ(faulty.stats().truncated, kSends);
+  // Every delivery is a strict prefix of the 6-byte payload; empty results
+  // are swallowed, so fewer than kSends may arrive. Give the queues a beat
+  // to drain before snapshotting.
+  ASSERT_TRUE(eventually([&] { return sink.count() >= kSends / 2; }));
+  faulty.stop();
+  for (const auto& d : sink.snapshot()) {
+    EXPECT_LT(d.size(), 6u);
+    EXPECT_FALSE(d.empty());
+  }
+}
+
+TEST(FaultyTransport, CorruptionChangesBytesButNeverLength) {
+  InMemoryHub hub(2);
+  FaultConfig cfg;
+  cfg.corrupt_rate = 1.0;
+  cfg.seed = 5;
+  FaultyTransport faulty(hub.endpoint(ProcessId{0}), cfg);
+  Sink sink;
+  sink.attach(hub.endpoint(ProcessId{1}));
+  start_send_only(faulty);
+  hub.endpoint(ProcessId{1}).start();
+  constexpr std::uint32_t kSends = 200;
+  for (std::uint32_t i = 0; i < kSends; ++i) {
+    faulty.send(ProcessId{1}, payload(i));
+  }
+  ASSERT_TRUE(eventually([&] { return sink.count() == kSends; }));
+  EXPECT_EQ(faulty.stats().corrupted, kSends);
+  std::size_t changed = 0;
+  const auto got = sink.snapshot();
+  for (std::uint32_t i = 0; i < kSends; ++i) {
+    ASSERT_EQ(got[i].size(), 6u);
+    if (got[i] != payload(i)) ++changed;
+  }
+  // An even number of flips on the same byte can cancel out — rare, not
+  // impossible; the overwhelming majority must differ.
+  EXPECT_GT(changed, kSends * 9 / 10);
+  faulty.stop();
+}
+
+}  // namespace
+}  // namespace mmrfd::transport

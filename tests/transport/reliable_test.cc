@@ -9,6 +9,7 @@
 #include <chrono>
 #include <thread>
 
+#include "transport/faulty_transport.h"
 #include "transport/inmemory_transport.h"
 #include "transport/realtime_detector.h"
 #include "transport/typed_transport.h"
@@ -199,6 +200,138 @@ TEST(ReliableDatagram, FullDetectorStackOverLossyLinks) {
       30000ms));
   nodes[0]->stop();
   nodes[1]->stop();
+}
+
+TEST(SeqTracker, BoundedWindowFoldsPastAbandonedGaps) {
+  // Regression: a sender that gives up on seq 1 leaves a gap that never
+  // fills. The unbounded tracker pinned its fold on that gap and grew the
+  // above-floor set for the life of the connection; the bounded window
+  // declares the oldest gap lost once exceeded and jumps the floor.
+  SeqTracker t(8);
+  for (std::uint64_t s = 2; s <= 11; ++s) {
+    EXPECT_TRUE(t.mark(s));
+    EXPECT_LE(t.pending_size(), 8u) << "after seq " << s;
+  }
+  EXPECT_EQ(t.floor(), 11u);  // gap at 1 declared lost, 2..11 folded
+  // The late gap-filler is now a duplicate — old-frame loss, which the
+  // protocol above tolerates (the alternative is unbounded memory).
+  EXPECT_FALSE(t.mark(1));
+}
+
+TEST(SeqTracker, WindowStaysBoundedUnderPathologicalGaps) {
+  // Every other seq missing forever: the worst case for the fold.
+  SeqTracker t(8);
+  for (std::uint64_t s = 2; s <= 2000; s += 2) {
+    EXPECT_TRUE(t.mark(s));
+    EXPECT_LE(t.pending_size(), 8u) << "after seq " << s;
+  }
+  EXPECT_GT(t.floor(), 1900u);
+}
+
+TEST(ReliableDatagram, NoPrematureRetransmission) {
+  // Regression: the retransmit loop used to resend *every* pending frame at
+  // each wakeup, so a frame sent just before the tick was retransmitted
+  // microseconds after its first transmission — burning a retry and
+  // double-sending on a healthy link. A frame must now age a full
+  // retransmit_interval before its first resend.
+  ReliablePair p(from_millis(600));
+  std::atomic<int> got{0};
+  p.a->set_handler([](std::span<const std::uint8_t>) {});
+  p.b->set_handler([&](std::span<const std::uint8_t>) { ++got; });
+  p.a->start();
+  p.b->start();
+  // Let the loop run so its next wakeup lands shortly after our send.
+  std::this_thread::sleep_for(450ms);
+  p.hub.set_loss_every(1);  // the first transmission is lost
+  p.a->send(ProcessId{1}, std::vector<std::uint8_t>{9});
+  std::this_thread::sleep_for(100ms);
+  p.hub.set_loss_every(0);
+  // Well before the frame is interval-old nothing may have been resent —
+  // the old code fired at its next wakeup (~150 ms after the send).
+  std::this_thread::sleep_for(250ms);
+  EXPECT_EQ(p.a->stats().retransmissions, 0u);
+  EXPECT_EQ(got.load(), 0);
+  // Once the frame ages past the interval the resend happens and delivers.
+  EXPECT_TRUE(eventually([&] { return got.load() == 1; }));
+  EXPECT_GE(p.a->stats().retransmissions, 1u);
+  p.a->stop();
+  p.b->stop();
+}
+
+TEST(ReliableDatagram, DupStormDeliversExactlyOnce) {
+  // Every outgoing datagram duplicated at the channel (data frames *and*
+  // retransmissions): dedup must deliver each payload exactly once, and the
+  // receiver must count the suppressed copies.
+  InMemoryHub hub(2);
+  FaultConfig fcfg;
+  fcfg.duplicate_rate = 1.0;
+  FaultyTransport faulty(hub.endpoint(ProcessId{0}), fcfg);
+  ReliableConfig cfg;
+  cfg.retransmit_interval = from_millis(20);
+  ReliableDatagram a(faulty, cfg);
+  ReliableDatagram b(hub.endpoint(ProcessId{1}), cfg);
+  std::atomic<int> got{0};
+  std::vector<bool> seen(100, false);
+  std::mutex seen_mutex;
+  a.set_handler([](std::span<const std::uint8_t>) {});
+  b.set_handler([&](std::span<const std::uint8_t> d) {
+    ASSERT_EQ(d.size(), 1u);
+    std::lock_guard lock(seen_mutex);
+    EXPECT_FALSE(seen[d[0]]) << "duplicate delivery of " << int(d[0]);
+    seen[d[0]] = true;
+    ++got;
+  });
+  a.start();
+  b.start();
+  for (std::uint8_t i = 0; i < 100; ++i) {
+    a.send(ProcessId{1}, std::vector<std::uint8_t>{i});
+  }
+  EXPECT_TRUE(eventually([&] { return got.load() == 100; }));
+  EXPECT_TRUE(eventually([&] { return a.unacked() == 0; }));
+  EXPECT_GE(b.stats().duplicates, 90u);
+  EXPECT_EQ(got.load(), 100);
+  a.stop();
+  b.stop();
+}
+
+TEST(ReliableDatagram, ReorderStormDeliversExactlyOnce) {
+  // Out-of-order data frames: the dedup tracker must accept above-floor
+  // seqs in any order without dropping or double-delivering, and acks must
+  // still drain the pending table.
+  InMemoryHub hub(2);
+  FaultConfig fcfg;
+  fcfg.reorder_rate = 0.5;
+  fcfg.seed = 17;
+  FaultyTransport faulty(hub.endpoint(ProcessId{0}), fcfg);
+  ReliableConfig cfg;
+  cfg.retransmit_interval = from_millis(20);
+  ReliableDatagram a(faulty, cfg);
+  ReliableDatagram b(hub.endpoint(ProcessId{1}), cfg);
+  std::atomic<int> got{0};
+  std::vector<int> deliveries(200, 0);
+  std::mutex seen_mutex;
+  a.set_handler([](std::span<const std::uint8_t>) {});
+  b.set_handler([&](std::span<const std::uint8_t> d) {
+    ASSERT_EQ(d.size(), 1u);
+    std::lock_guard lock(seen_mutex);
+    ++deliveries[d[0]];
+    ++got;
+  });
+  a.start();
+  b.start();
+  for (std::uint8_t i = 0; i < 200; ++i) {
+    a.send(ProcessId{1}, std::vector<std::uint8_t>{i});
+  }
+  EXPECT_TRUE(eventually([&] { return got.load() == 200; }));
+  EXPECT_TRUE(eventually([&] { return a.unacked() == 0; }));
+  {
+    std::lock_guard lock(seen_mutex);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(deliveries[i], 1) << "payload " << i;
+    }
+  }
+  a.stop();
+  b.stop();
 }
 
 }  // namespace
