@@ -50,6 +50,7 @@ struct LiveResult {
   std::size_t restarts{0};
   bool strong_completeness{false};
   double detection_mean_s{0};
+  double detection_p50_s{0};
   double detection_p99_s{0};
   double detection_max_s{0};
   std::size_t false_suspicions{0};
@@ -65,6 +66,15 @@ struct LiveResult {
   std::uint64_t malformed{0};
   std::size_t unexpected_exits{0};
   std::size_t missing_reports{0};
+  // Ground-truth wire cost: bytes handed to sendto(), reliability framing,
+  // retransmits and ACKs included (v2 reports close the old gap where
+  // bytes_per_query counted only codec payloads).
+  std::uint64_t datagrams_sent{0};
+  std::uint64_t wire_bytes_sent{0};
+  double wire_bytes_per_query{0};
+  // Round RTT percentiles from the cluster-merged rt.round_rtt_ns histogram.
+  double round_rtt_p50_ms{0};
+  double round_rtt_p99_ms{0};
 };
 
 [[nodiscard]] bool write_json(const std::vector<LiveResult>& results,
@@ -88,8 +98,11 @@ struct LiveResult {
        << ", \"restarts\": " << r.restarts << ", \"strong_completeness\": "
        << (r.strong_completeness ? "true" : "false")
        << ", \"detection_mean_s\": " << r.detection_mean_s
+       << ", \"detection_p50_s\": " << r.detection_p50_s
        << ", \"detection_p99_s\": " << r.detection_p99_s
        << ", \"detection_max_s\": " << r.detection_max_s
+       << ", \"round_rtt_p50_ms\": " << r.round_rtt_p50_ms
+       << ", \"round_rtt_p99_ms\": " << r.round_rtt_p99_ms
        << ", \"false_suspicions\": " << r.false_suspicions
        << ", \"rounds\": " << r.rounds
        << ", \"full_queries\": " << r.full_queries
@@ -97,6 +110,9 @@ struct LiveResult {
        << ", \"need_full_sent\": " << r.need_full_sent
        << ", \"need_full_received\": " << r.need_full_received
        << ", \"bytes_per_query\": " << r.bytes_per_query
+       << ", \"datagrams_sent\": " << r.datagrams_sent
+       << ", \"wire_bytes_sent\": " << r.wire_bytes_sent
+       << ", \"wire_bytes_per_query\": " << r.wire_bytes_per_query
        << ", \"datagrams_received\": " << r.datagrams_received
        << ", \"truncated\": " << r.truncated
        << ", \"recv_errors\": " << r.recv_errors
@@ -275,9 +291,18 @@ int main(int argc, char** argv) {
     r.strong_completeness = run.strong_completeness;
     if (!run.detection_latencies.empty()) {
       r.detection_mean_s = run.detection_latencies.mean();
+      r.detection_p50_s = run.detection_latencies.percentile(50.0);
       r.detection_p99_s = run.detection_latencies.percentile(99.0);
       r.detection_max_s = run.detection_latencies.max();
     }
+    if (const obs::HistogramSnapshot* h =
+            run.metrics.find_histogram("rt.round_rtt_ns")) {
+      r.round_rtt_p50_ms = h->percentile(0.50) / 1e6;
+      r.round_rtt_p99_ms = h->percentile(0.99) / 1e6;
+    }
+    r.datagrams_sent = run.datagrams_sent;
+    r.wire_bytes_sent = run.wire_bytes_sent;
+    r.wire_bytes_per_query = run.wire_bytes_per_query();
     r.false_suspicions = run.false_suspicions;
     r.rounds = run.rounds;
     r.full_queries = run.full_queries_sent;
@@ -299,8 +324,9 @@ int main(int argc, char** argv) {
   }
 
   Table table({"n", "f", "seed", "delta", "kills", "det_mean_s", "det_p99_s",
-               "complete", "false_susp", "B_per_query", "delta_q", "full_q",
-               "need_full", "trunc", "errs"});
+               "rtt_p50_ms", "complete", "false_susp", "B_per_query",
+               "wire_B_per_q", "delta_q", "full_q", "need_full", "trunc",
+               "errs"});
   for (const auto& r : results) {
     table.add_row({Table::num(std::uint64_t{r.n}),
                    Table::num(std::uint64_t{r.f}), Table::num(r.seed),
@@ -308,9 +334,12 @@ int main(int argc, char** argv) {
                    Table::num(std::uint64_t{r.crashes}),
                    Table::num(r.detection_mean_s),
                    Table::num(r.detection_p99_s),
+                   Table::num(r.round_rtt_p50_ms),
                    r.strong_completeness ? "yes" : "no",
                    Table::num(std::uint64_t{r.false_suspicions}),
-                   Table::num(r.bytes_per_query), Table::num(r.delta_queries),
+                   Table::num(r.bytes_per_query),
+                   Table::num(r.wire_bytes_per_query),
+                   Table::num(r.delta_queries),
                    Table::num(r.full_queries),
                    Table::num(r.need_full_sent + r.need_full_received),
                    Table::num(r.truncated), Table::num(r.recv_errors)});

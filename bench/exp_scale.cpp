@@ -41,6 +41,7 @@
 #include "common/argparse.h"
 #include "exp_common.h"
 #include "metrics/table.h"
+#include "obs/metrics_registry.h"
 #include "runtime/sharded_cluster.h"
 
 using namespace mmrfd;
@@ -72,9 +73,15 @@ struct ScaleResult {
   std::size_t crashes{0};
   bool strong_completeness{false};
   double detection_mean_s{0};
+  double detection_p50_s{0};
   double detection_p99_s{0};
   double detection_max_s{0};
   std::size_t false_suspicions{0};
+  // Round RTT (query start -> quorum) percentiles from the sim.round_rtt_ns
+  // registry histogram — serial runs use one shared registry, sharded runs
+  // merge the per-shard ones.
+  double round_rtt_p50_ms{0};
+  double round_rtt_p99_ms{0};
 };
 // The --jobs path ships results from child to parent as raw bytes.
 static_assert(std::is_trivially_copyable_v<ScaleResult>);
@@ -157,15 +164,26 @@ void fill_result(ScaleResult& r, const ScaleConfig& c, std::uint32_t f,
   r.crashes = crashes;
   r.strong_completeness = m.strong_completeness;
   r.detection_mean_s = m.detection_latencies.mean();
+  r.detection_p50_s = m.detection_latencies.percentile(50.0);
   r.detection_p99_s = m.detection_latencies.percentile(99.0);
   r.detection_max_s = m.detection_latencies.max();
   r.false_suspicions = m.false_suspicions;
 }
 
+void fill_round_rtt(ScaleResult& r, const obs::RegistrySnapshot& snap) {
+  if (const obs::HistogramSnapshot* h =
+          snap.find_histogram("sim.round_rtt_ns")) {
+    r.round_rtt_p50_ms = h->percentile(0.50) / 1e6;
+    r.round_rtt_p99_ms = h->percentile(0.99) / 1e6;
+  }
+}
+
 ScaleResult run_serial(const ScaleConfig& c, Duration horizon, Duration pacing,
                        bool with_spike) {
-  const runtime::MmrClusterConfig cfg =
+  runtime::MmrClusterConfig cfg =
       cluster_config(c, horizon, pacing, with_spike);
+  obs::MetricsRegistry registry;  // sim.* instruments for every host
+  cfg.registry = &registry;
   runtime::MmrCluster cluster(cfg);
   auto tally = std::make_shared<WireTally>();
   install_tally(cluster.network(), tally);
@@ -201,6 +219,7 @@ ScaleResult run_serial(const ScaleConfig& c, Duration horizon, Duration pacing,
   r.messages_sent = cluster.network().stats().messages_sent;
   r.bytes_sent = cluster.network().stats().bytes_sent;
   fill_result(r, c, cfg.f, horizon, wall.count(), *tally, crashes, m);
+  fill_round_rtt(r, registry.snapshot());
   return r;
 }
 
@@ -250,6 +269,7 @@ ScaleResult run_sharded(const ScaleConfig& c, Duration horizon, Duration pacing,
   r.messages_sent = stats.messages_sent;
   r.bytes_sent = stats.bytes_sent;
   fill_result(r, c, cfg.f, horizon, wall.count(), tally, crashes, m);
+  fill_round_rtt(r, cluster.telemetry());
   return r;
 }
 
@@ -390,8 +410,11 @@ int run_forked(const std::vector<ScaleConfig>& configs, Duration horizon,
        << ", \"crashes\": " << r.crashes << ", \"strong_completeness\": "
        << (r.strong_completeness ? "true" : "false")
        << ", \"detection_mean_s\": " << r.detection_mean_s
+       << ", \"detection_p50_s\": " << r.detection_p50_s
        << ", \"detection_p99_s\": " << r.detection_p99_s
        << ", \"detection_max_s\": " << r.detection_max_s
+       << ", \"round_rtt_p50_ms\": " << r.round_rtt_p50_ms
+       << ", \"round_rtt_p99_ms\": " << r.round_rtt_p99_ms
        << ", \"false_suspicions\": " << r.false_suspicions << "}";
   }
   os << "\n  ]\n}\n";
@@ -553,7 +576,7 @@ int main(int argc, char** argv) {
 
   Table table({"n", "f", "seed", "delta", "engine", "wall_s", "events",
                "events_per_sec", "msgs_sent", "B_per_query", "mean_det_s",
-               "p99_det_s", "complete", "false_susp"});
+               "p99_det_s", "rtt_p50_ms", "complete", "false_susp"});
   for (const auto& r : results) {
     table.add_row({Table::num(std::uint64_t{r.n}),
                    Table::num(std::uint64_t{r.f}), Table::num(r.seed),
@@ -565,6 +588,7 @@ int main(int argc, char** argv) {
                    Table::num(r.messages_sent), Table::num(r.bytes_per_query),
                    Table::num(r.detection_mean_s),
                    Table::num(r.detection_p99_s),
+                   Table::num(r.round_rtt_p50_ms),
                    r.strong_completeness ? "yes" : "no",
                    Table::num(std::uint64_t{r.false_suspicions})});
   }

@@ -4,10 +4,15 @@
 Matches result rows between two exp_scale/exp_live JSON artifacts by their
 configuration key and flags metric movements outside a tolerance band:
 
-  * events_per_sec    — lower is a regression
-  * bytes_per_query   — higher is a regression
-  * detection_mean_s  — higher is a regression
-  * detection_p99_s   — higher is a regression
+  * events_per_sec      — lower is a regression
+  * bytes_per_query     — higher is a regression
+  * wire_bytes_per_query — higher is a regression (true wire cost: framing,
+                           retransmits and ACKs included)
+  * detection_mean_s    — higher is a regression
+  * detection_p50_s     — higher is a regression
+  * detection_p99_s     — higher is a regression
+  * round_rtt_p50_ms    — higher is a regression
+  * round_rtt_p99_ms    — higher is a regression
 
 The key includes the engine/shards columns exp_scale emits, so a serial and
 a sharded run of the same (n, f, seed) never get compared to each other.
@@ -29,8 +34,12 @@ import sys
 METRICS = {
     "events_per_sec": "up",
     "bytes_per_query": "down",
+    "wire_bytes_per_query": "down",
     "detection_mean_s": "down",
+    "detection_p50_s": "down",
     "detection_p99_s": "down",
+    "round_rtt_p50_ms": "down",
+    "round_rtt_p99_ms": "down",
 }
 KEY_FIELDS = ("n", "f", "seed", "delta", "reliable", "engine", "shards")
 

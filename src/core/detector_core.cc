@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "obs/flight_recorder.h"
 
 namespace mmrfd::core {
 
@@ -104,10 +105,14 @@ void DetectorCore::begin_query() {
     for (ProcessId pj : cand) {
       skip_[pj.value] = true;
       ++queries_skipped_;
+      trace(obs::TraceKind::kGiveUpSkip, pj.value,
+            static_cast<std::uint32_t>(streak_[pj.value]));
     }
   }
   delta_.begin_round();
   round_queries_.clear();
+  trace(obs::TraceKind::kRoundOpen,
+        static_cast<std::uint32_t>(seq_), 0);
 }
 
 QueryMessage DetectorCore::full_query() const {
@@ -170,6 +175,10 @@ bool DetectorCore::on_response(ProcessId from, const ResponseMessage& response) 
   // even for responses rejected below as late/duplicate (DeltaState clamps
   // the ack and drops the watermark on need_full).
   delta_.on_ack(from, response.ack_epoch, response.need_full);
+  if (response.need_full) {
+    trace(obs::TraceKind::kNeedFullRx, from.value,
+          0);
+  }
   // A sender id outside Pi cannot count toward a quorum (only reachable via
   // forged datagrams on the live path; simulated senders are always < n).
   if (from.value >= config_.n) return false;
@@ -221,7 +230,12 @@ void DetectorCore::finish_round() {
   if (config_.delta_queries && config_.resync_interval > 0 &&
       rounds_ % config_.resync_interval == 0) {
     delta_.reset_seen();
+    trace(obs::TraceKind::kResync,
+          static_cast<std::uint32_t>(delta_.epoch()), 0);
   }
+  trace(obs::TraceKind::kRoundClose,
+        static_cast<std::uint32_t>(seq_),
+        static_cast<std::uint32_t>(suspected_.size()));
 }
 
 ResponseMessage DetectorCore::on_query(ProcessId from,
@@ -271,6 +285,10 @@ ResponseMessage DetectorCore::on_query(ProcessId from,
   }
 
   if (!epoch_miss) delta_.note_seen(from, query.epoch);
+  if (epoch_miss) {
+    trace(obs::TraceKind::kNeedFullTx, from.value,
+          0);
+  }
   return ResponseMessage{query.seq, query.epoch, epoch_miss};  // T2 line 38
 }
 
@@ -375,8 +393,10 @@ void DetectorCore::add_suspicion(ProcessId id, Tag tag) {
     dense_tag_[id.value] = tag;
   }
   delta_.record(id);
-  if (!was_suspected && observer_ != nullptr) {
-    observer_->on_suspected(id, tag);
+  if (!was_suspected) {
+    trace(obs::TraceKind::kSuspectAdd, id.value,
+          static_cast<std::uint32_t>(tag));
+    if (observer_ != nullptr) observer_->on_suspected(id, tag);
   }
 }
 
@@ -389,6 +409,10 @@ void DetectorCore::add_mistake(ProcessId id, Tag tag) {
     dense_tag_[id.value] = tag;
   }
   delta_.record(id);
+  if (was_suspected) {
+    trace(obs::TraceKind::kSuspectDrop, id.value,
+          static_cast<std::uint32_t>(tag));
+  }
   if (observer_ != nullptr) {
     if (was_suspected) observer_->on_cleared(id, tag);
     observer_->on_mistake(id, tag);
@@ -407,6 +431,11 @@ std::optional<Tag> DetectorCore::local_tag(ProcessId id) const {
 bool DetectorCore::is_mistake(ProcessId id) const {
   if (id.value < dense_kind_.size()) return dense_kind_[id.value] == 2;
   return mistake_.contains(id);
+}
+
+void DetectorCore::trace(obs::TraceKind kind, std::uint32_t a,
+                         std::uint32_t b) const {
+  if (recorder_ != nullptr) recorder_->record(kind, a, b);
 }
 
 }  // namespace mmrfd::core

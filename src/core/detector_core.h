@@ -45,6 +45,11 @@
 #include "core/failure_detector.h"
 #include "core/messages.h"
 
+namespace mmrfd::obs {
+class FlightRecorder;
+enum class TraceKind : std::uint8_t;
+}  // namespace mmrfd::obs
+
 namespace mmrfd::core {
 
 struct DetectorConfig {
@@ -119,6 +124,11 @@ class DetectorCore final : public FailureDetector {
 
   /// Registers an observer for suspicion transitions (may be nullptr).
   void set_observer(SuspicionObserver* observer) { observer_ = observer; }
+
+  /// Attaches a flight recorder for round/suspicion/resync trace records
+  /// (may be nullptr). Recording is passive — no scheduling, no RNG — so
+  /// attaching one never perturbs a deterministic run.
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
 
   // --- T1: query issuing ---------------------------------------------------
 
@@ -251,8 +261,11 @@ class DetectorCore final : public FailureDetector {
   /// True iff `id`'s entry (if any) lives in the mistake set.
   [[nodiscard]] bool is_mistake(ProcessId id) const;
 
+  void trace(obs::TraceKind kind, std::uint32_t a, std::uint32_t b) const;
+
   DetectorConfig config_;
   SuspicionObserver* observer_{nullptr};
+  obs::FlightRecorder* recorder_{nullptr};
 
   Tag counter_{0};
   TaggedSet suspected_;

@@ -14,6 +14,8 @@
 #include "core/failure_detector.h"
 #include "live/report.h"
 #include "metrics/event_log.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
 #include "transport/faulty_transport.h"
 #include "transport/realtime_detector.h"
 #include "transport/reliable.h"
@@ -25,8 +27,10 @@ namespace mmrfd::live {
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump_trace = 0;
 
 void on_signal(int) { g_stop = 1; }
+void on_dump_signal(int) { g_dump_trace = 1; }
 
 /// Collects suspicion transitions stamped with wall-clock ns since the run
 /// origin. Callbacks arrive with the detector mutex held; this observer
@@ -96,7 +100,9 @@ int node_main(int argc, const char* const* argv) {
       .flag("fault-reorder", "0", "adversarial channel: reorder rate")
       .flag("fault-corrupt", "0", "adversarial channel: byte-flip rate")
       .flag("fault-truncate", "0", "adversarial channel: truncation rate")
-      .flag("fault-seed", "1", "adversarial channel RNG seed");
+      .flag("fault-seed", "1", "adversarial channel RNG seed")
+      .flag("trace-cap", "4096",
+            "flight-recorder ring capacity (records; dump with SIGUSR1)");
   if (!args.parse(argc, argv)) return 2;
 
   const auto n = static_cast<std::uint32_t>(args.get_int("n"));
@@ -115,6 +121,14 @@ int node_main(int argc, const char* const* argv) {
 
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
+  std::signal(SIGUSR1, on_dump_signal);
+
+  // One registry shared by every layer of this process's stack, and one
+  // flight recorder the detector layers trace into. Both are dumped on
+  // demand (SIGUSR1) and embedded in every NodeReport snapshot.
+  obs::MetricsRegistry registry;
+  obs::FlightRecorder recorder(
+      static_cast<std::size_t>(args.get_int("trace-cap")));
 
   transport::UdpConfig ucfg;
   ucfg.self = ProcessId{self};
@@ -122,6 +136,7 @@ int node_main(int argc, const char* const* argv) {
   ucfg.base_port = static_cast<std::uint16_t>(args.get_int("base-port"));
   ucfg.socket_buffer_bytes =
       static_cast<std::uint32_t>(args.get_int("rcvbuf"));
+  ucfg.registry = &registry;
   transport::UdpTransport udp(ucfg);
 
   // Adversarial channel: inserted at the very bottom of the stack, so that
@@ -134,6 +149,7 @@ int node_main(int argc, const char* const* argv) {
   fault_cfg.corrupt_rate = args.get_double("fault-corrupt");
   fault_cfg.truncate_rate = args.get_double("fault-truncate");
   fault_cfg.seed = static_cast<std::uint64_t>(args.get_int("fault-seed"));
+  fault_cfg.registry = &registry;
   const bool faulty =
       fault_cfg.drop_rate > 0.0 || fault_cfg.duplicate_rate > 0.0 ||
       fault_cfg.reorder_rate > 0.0 || fault_cfg.corrupt_rate > 0.0 ||
@@ -148,7 +164,9 @@ int node_main(int argc, const char* const* argv) {
   const bool reliable = args.get_bool("reliable");
   std::optional<transport::ReliableDatagram> reliable_layer;
   if (reliable) {
-    reliable_layer.emplace(*datagrams, transport::ReliableConfig{});
+    transport::ReliableConfig rel_cfg;
+    rel_cfg.registry = &registry;
+    reliable_layer.emplace(*datagrams, rel_cfg);
     datagrams = &*reliable_layer;
   }
   transport::TypedTransport typed(*datagrams);
@@ -164,6 +182,8 @@ int node_main(int argc, const char* const* argv) {
       static_cast<std::uint32_t>(args.get_int("resync"));
   rcfg.pacing = from_millis(static_cast<double>(args.get_int("pacing-ms")));
   rcfg.resend = from_millis(static_cast<double>(args.get_int("resend-ms")));
+  rcfg.registry = &registry;
+  rcfg.recorder = &recorder;
   transport::RealTimeDetector detector(typed, rcfg);
   RecordingObserver observer(origin_ns);
   detector.set_observer(&observer);
@@ -204,13 +224,20 @@ int node_main(int argc, const char* const* argv) {
     r.truncated = us.truncated;
     r.recv_errors = us.recv_errors;
     r.rcvbuf_bytes = us.rcvbuf_bytes;
+    r.datagrams_sent = us.datagrams_sent;
+    r.bytes_sent = us.bytes_sent;
     r.malformed = typed.malformed_count();
     if (reliable_layer) {
       const transport::ReliableStats rs = reliable_layer->stats();
       r.retransmissions = rs.retransmissions;
       r.gave_up = rs.gave_up;
       r.duplicates = rs.duplicates;
+      r.acks_sent = rs.acks_sent;
+      r.data_bytes_sent = rs.data_bytes_sent;
+      r.retransmit_bytes_sent = rs.retransmit_bytes_sent;
+      r.ack_bytes_sent = rs.ack_bytes_sent;
     }
+    r.metrics = registry.snapshot();
     for (const ProcessId id : detector.suspected()) {
       r.suspected.push_back(id.value);
     }
@@ -226,8 +253,25 @@ int node_main(int argc, const char* const* argv) {
       std::chrono::milliseconds(args.get_int("flush-ms"));
   const auto run_for = std::chrono::seconds(args.get_int("run-s"));
   auto last_flush = started;
+  // SIGUSR1 handling happens here, not in the handler: dump_to_file takes a
+  // mutex and allocates, so the handler only flips an async-signal-safe flag
+  // that the 20 ms poll loop (and the shutdown path) consumes.
+  const std::string trace_path =
+      report_path.empty() ? "" : report_path + ".trace";
+  const auto maybe_dump_trace = [&] {
+    if (g_dump_trace == 0) return;
+    g_dump_trace = 0;
+    if (trace_path.empty()) {
+      recorder.dump_text(std::cerr);
+    } else if (!recorder.dump_to_file(trace_path)) {
+      std::cerr << "mmrfd-node " << self << ": cannot write trace "
+                << trace_path << "\n";
+    }
+  };
+
   while (g_stop == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    maybe_dump_trace();
     const auto now = std::chrono::steady_clock::now();
     if (run_for.count() > 0 && now - started >= run_for) break;
     if (!report_path.empty() && now - last_flush >= flush_every) {
@@ -237,6 +281,7 @@ int node_main(int argc, const char* const* argv) {
   }
 
   detector.stop();
+  maybe_dump_trace();  // a SIGUSR1 racing shutdown still gets its dump
   if (!report_path.empty()) write_snapshot();
   return 0;
 }

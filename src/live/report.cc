@@ -12,13 +12,120 @@ namespace mmrfd::live {
 namespace {
 
 constexpr std::uint8_t kMagic[4] = {'M', 'M', 'R', 'L'};
-constexpr std::uint32_t kVersion = 1;
+// v2: ground-truth egress counters + embedded obs::RegistrySnapshot. Node
+// and supervisor always ship together, so v1 files (stale runs) are simply
+// rejected rather than upgraded.
+constexpr std::uint32_t kVersion = 2;
 
 // Decode-side allocation caps. A report is trusted input in the happy path
 // (we wrote it), but a SIGKILL can leave stale files from older runs and the
 // supervisor must never let a garbage length field drive an allocation.
 constexpr std::uint64_t kMaxSuspected = 1u << 20;
 constexpr std::uint64_t kMaxEvents = 1u << 26;
+constexpr std::uint64_t kMaxMetricName = 1u << 10;
+constexpr std::uint64_t kMaxInstruments = 1u << 16;
+
+void encode_name(transport::Encoder& e, const std::string& name) {
+  e.u32(static_cast<std::uint32_t>(name.size()));
+  for (const char c : name) e.u8(static_cast<std::uint8_t>(c));
+}
+
+std::optional<std::string> decode_name(transport::Decoder& d,
+                                       std::size_t data_size) {
+  const auto len = d.u32();
+  if (!len || *len > kMaxMetricName || *len > data_size) return std::nullopt;
+  std::string name;
+  name.reserve(*len);
+  for (std::uint32_t i = 0; i < *len; ++i) {
+    const auto c = d.u8();
+    if (!c) return std::nullopt;
+    name.push_back(static_cast<char>(*c));
+  }
+  return name;
+}
+
+void encode_metrics(transport::Encoder& e, const obs::RegistrySnapshot& m) {
+  e.u32(static_cast<std::uint32_t>(m.counters.size()));
+  for (const obs::CounterSnapshot& c : m.counters) {
+    encode_name(e, c.name);
+    e.u64(c.value);
+  }
+  e.u32(static_cast<std::uint32_t>(m.gauges.size()));
+  for (const obs::GaugeSnapshot& g : m.gauges) {
+    encode_name(e, g.name);
+    e.u64(static_cast<std::uint64_t>(g.value));  // two's-complement round-trip
+  }
+  e.u32(static_cast<std::uint32_t>(m.histograms.size()));
+  for (const obs::HistogramSnapshot& h : m.histograms) {
+    encode_name(e, h.name);
+    e.u64(h.count);
+    e.u64(h.sum);
+    e.u32(static_cast<std::uint32_t>(h.buckets.size()));
+    for (const auto& [idx, count] : h.buckets) {
+      e.u32(idx);
+      e.u64(count);
+    }
+  }
+}
+
+bool decode_metrics(transport::Decoder& d, std::size_t data_size,
+                    obs::RegistrySnapshot& out) {
+  const auto counter_count = d.u32();
+  // Every instrument costs >= 12 encoded bytes (length + value), so a count
+  // beyond data_size/12 cannot be honest; same reasoning below.
+  if (!counter_count || *counter_count > kMaxInstruments ||
+      *counter_count > data_size / 12) {
+    return false;
+  }
+  out.counters.reserve(*counter_count);
+  for (std::uint32_t i = 0; i < *counter_count; ++i) {
+    auto name = decode_name(d, data_size);
+    const auto value = d.u64();
+    if (!name || !value) return false;
+    out.counters.push_back({std::move(*name), *value});
+  }
+  const auto gauge_count = d.u32();
+  if (!gauge_count || *gauge_count > kMaxInstruments ||
+      *gauge_count > data_size / 12) {
+    return false;
+  }
+  out.gauges.reserve(*gauge_count);
+  for (std::uint32_t i = 0; i < *gauge_count; ++i) {
+    auto name = decode_name(d, data_size);
+    const auto value = d.u64();
+    if (!name || !value) return false;
+    out.gauges.push_back({std::move(*name), static_cast<std::int64_t>(*value)});
+  }
+  const auto histogram_count = d.u32();
+  if (!histogram_count || *histogram_count > kMaxInstruments ||
+      *histogram_count > data_size / 24) {
+    return false;
+  }
+  out.histograms.reserve(*histogram_count);
+  for (std::uint32_t i = 0; i < *histogram_count; ++i) {
+    obs::HistogramSnapshot h;
+    auto name = decode_name(d, data_size);
+    const auto count = d.u64();
+    const auto sum = d.u64();
+    const auto bucket_count = d.u32();
+    if (!name || !count || !sum || !bucket_count ||
+        *bucket_count > obs::Histogram::kBuckets) {
+      return false;
+    }
+    h.name = std::move(*name);
+    h.count = *count;
+    h.sum = *sum;
+    h.buckets.reserve(*bucket_count);
+    for (std::uint32_t b = 0; b < *bucket_count; ++b) {
+      const auto idx = d.u32();
+      const auto n = d.u64();
+      if (!idx || !n || *idx >= obs::Histogram::kBuckets) return false;
+      h.buckets.emplace_back(*idx, *n);
+    }
+    out.histograms.push_back(std::move(h));
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -53,6 +160,13 @@ std::vector<std::uint8_t> encode_report(const NodeReport& r) {
   e.u64(r.retransmissions);
   e.u64(r.gave_up);
   e.u64(r.duplicates);
+  e.u64(r.datagrams_sent);
+  e.u64(r.bytes_sent);
+  e.u64(r.acks_sent);
+  e.u64(r.data_bytes_sent);
+  e.u64(r.retransmit_bytes_sent);
+  e.u64(r.ack_bytes_sent);
+  encode_metrics(e, r.metrics);
   e.u32(static_cast<std::uint32_t>(r.suspected.size()));
   for (const std::uint32_t id : r.suspected) e.u32(id);
   e.u32(static_cast<std::uint32_t>(r.events.size()));
@@ -100,9 +214,12 @@ std::optional<NodeReport> decode_report(std::span<const std::uint8_t> data) {
         &r.need_full_received, &r.query_bytes_sent, &r.response_bytes_sent,
         &r.datagrams_received, &r.bytes_received, &r.truncated,
         &r.recv_errors, &r.rcvbuf_bytes, &r.malformed, &r.retransmissions,
-        &r.gave_up, &r.duplicates}) {
+        &r.gave_up, &r.duplicates, &r.datagrams_sent, &r.bytes_sent,
+        &r.acks_sent, &r.data_bytes_sent, &r.retransmit_bytes_sent,
+        &r.ack_bytes_sent}) {
     if (!u64_into(*field)) return std::nullopt;
   }
+  if (!decode_metrics(d, data.size(), r.metrics)) return std::nullopt;
   // Length fields are checked against the bytes actually present (4 per
   // suspected id, 21 per event) BEFORE reserving: a garbage count in a
   // corrupt file must fail the decode, not drive a giant allocation.

@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics_registry.h"
+
 namespace mmrfd::live {
 
 /// One suspicion transition observed by a node. `kind` mirrors
@@ -66,9 +68,26 @@ struct NodeReport {
   std::uint64_t gave_up{0};
   std::uint64_t duplicates{0};
 
+  // --- ground-truth egress (v2) --------------------------------------------
+  // What actually left the socket: every datagram counts, including the
+  // 13-byte reliability framing, retransmit copies and ACKs that the
+  // protocol-level query/response byte counters never see.
+  std::uint64_t datagrams_sent{0};
+  std::uint64_t bytes_sent{0};  ///< UDP payload bytes handed to sendto()
+  std::uint64_t acks_sent{0};
+  std::uint64_t data_bytes_sent{0};        ///< framed DATA, first send
+  std::uint64_t retransmit_bytes_sent{0};  ///< framed DATA, resends
+  std::uint64_t ack_bytes_sent{0};
+
+  // --- metrics registry snapshot (v2) --------------------------------------
+  // The node's full obs::MetricsRegistry at snapshot time. The supervisor
+  // merges these into the cluster-wide rollup and telemetry.jsonl series.
+  obs::RegistrySnapshot metrics;
+
   // --- state ---------------------------------------------------------------
   std::vector<std::uint32_t> suspected;  ///< final suspected set at snapshot
-  std::vector<ReportEvent> events;       ///< full transition history
+  std::vector<ReportEvent> events;       ///< full transition history (LAST
+                                         ///< section of the wire format)
 
   friend bool operator==(const NodeReport&, const NodeReport&) = default;
 };

@@ -8,6 +8,8 @@
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 
@@ -17,6 +19,29 @@
 #include "sim/simulation.h"
 
 namespace mmrfd::live {
+
+namespace {
+
+/// Counters-only JSON object for one telemetry line: {"name":value,...}.
+/// Metric names are code-side constants ([a-z0-9._] by convention), so no
+/// escaping beyond the basics is needed; anything exotic is dropped rather
+/// than emitted malformed.
+void append_counters_json(std::ostream& os, const obs::RegistrySnapshot& m) {
+  os << '{';
+  bool first = true;
+  for (const obs::CounterSnapshot& c : m.counters) {
+    if (c.name.find('"') != std::string::npos ||
+        c.name.find('\\') != std::string::npos) {
+      continue;
+    }
+    if (!first) os << ',';
+    first = false;
+    os << '"' << c.name << "\":" << c.value;
+  }
+  os << '}';
+}
+
+}  // namespace
 
 std::string default_node_binary() {
   if (const char* env = std::getenv("MMRFD_NODE_BIN");
@@ -185,6 +210,30 @@ LiveRunResult Supervisor::run(const std::vector<CrashEvent>& schedule,
     }
   };
 
+  // Cluster time series: one JSONL line per readable node report every
+  // config_.telemetry. Reading the report files is pure observation — the
+  // nodes keep renaming fresh snapshots into place regardless.
+  const bool telemetry_on = config_.telemetry > Duration::zero();
+  const std::string telemetry_path = config_.report_dir + "/telemetry.jsonl";
+  if (telemetry_on) {
+    std::ofstream trunc(telemetry_path, std::ios::trunc);  // fresh run
+  }
+  Duration last_telemetry = kTimeZero;
+  const auto sample_telemetry = [&](Duration now) {
+    std::ofstream os(telemetry_path, std::ios::app);
+    if (!os) return;
+    for (const Proc& p : procs) {
+      if (p.report_paths.empty()) continue;
+      const auto r = read_report_file(p.report_paths.back());
+      if (!r) continue;
+      os << "{\"t_ms\":" << (now.count() / 1'000'000)
+         << ",\"node\":" << p.id.value << ",\"gen\":" << (p.spawns - 1)
+         << ",\"final\":false,\"c\":";
+      append_counters_json(os, r->metrics);
+      os << "}\n";
+    }
+  };
+
   const auto started = std::chrono::steady_clock::now();
   const auto elapsed = [&] {
     return std::chrono::duration_cast<Duration>(
@@ -196,6 +245,10 @@ LiveRunResult Supervisor::run(const std::vector<CrashEvent>& schedule,
   while (elapsed() < horizon) {
     reap();
     const Duration now = elapsed();
+    if (telemetry_on && now - last_telemetry >= config_.telemetry) {
+      sample_telemetry(now);
+      last_telemetry = now;
+    }
     for (PendingCrash& pc : pending) {
       if (!pc.killed && pc.event.at <= now) {
         Proc& victim = procs[pc.event.victim.value];
@@ -326,6 +379,7 @@ void Supervisor::aggregate(std::vector<Proc>& procs, Duration horizon,
   result.strong_completeness = analysis.strong_completeness();
   result.false_suspicions = analysis.false_suspicions().size();
 
+  std::size_t harvested = 0;
   for (const LiveNodeOutcome& node : result.nodes) {
     for (const NodeReport& r : node.reports) {
       result.rounds += r.rounds;
@@ -341,6 +395,35 @@ void Supervisor::aggregate(std::vector<Proc>& procs, Duration horizon,
       result.malformed += r.malformed;
       result.retransmissions += r.retransmissions;
       result.gave_up += r.gave_up;
+      result.datagrams_sent += r.datagrams_sent;
+      result.wire_bytes_sent += r.bytes_sent;
+      result.acks_sent += r.acks_sent;
+      result.metrics.merge(r.metrics);
+      ++harvested;
+    }
+  }
+
+  // Close the telemetry series: one "final" line per harvested report, then
+  // a rollup line. The rollup's counters are result.metrics — the merge of
+  // exactly the snapshots the final lines carry — so summing the final
+  // lines' counters reproduces the rollup bit-for-bit.
+  if (config_.telemetry > Duration::zero()) {
+    std::ofstream os(config_.report_dir + "/telemetry.jsonl", std::ios::app);
+    if (os) {
+      for (const LiveNodeOutcome& node : result.nodes) {
+        for (std::size_t g = 0; g < node.reports.size(); ++g) {
+          const NodeReport& r = node.reports[g];
+          os << "{\"t_ms\":" << (r.snapshot_ns / 1'000'000)
+             << ",\"node\":" << node.id.value << ",\"gen\":" << g
+             << ",\"final\":true,\"c\":";
+          append_counters_json(os, r.metrics);
+          os << "}\n";
+        }
+      }
+      os << "{\"rollup\":true,\"nodes\":" << config_.n
+         << ",\"reports\":" << harvested << ",\"c\":";
+      append_counters_json(os, result.metrics);
+      os << "}\n";
     }
   }
 }

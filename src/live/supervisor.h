@@ -44,6 +44,11 @@ struct SupervisorConfig {
   bool reliable{false};
   std::uint32_t rcvbuf{0};          ///< per-node socket buffer (0 = auto)
   Duration flush{from_millis(200)}; ///< node report snapshot interval
+  /// Cluster time-series sampling interval: every `telemetry`, the current
+  /// per-node report files are read back and one JSONL line per decodable
+  /// report is appended to <report_dir>/telemetry.jsonl. Zero disables the
+  /// file (including the end-of-run final/rollup lines).
+  Duration telemetry{from_millis(500)};
   std::string node_binary;          ///< empty = default_node_binary()
   std::string report_dir;           ///< created if missing
 
@@ -105,11 +110,29 @@ struct LiveRunResult {
   std::uint64_t retransmissions{0};
   std::uint64_t gave_up{0};
 
+  // Ground-truth egress totals (v2 reports): every datagram that left a
+  // node's socket, reliability framing and retransmit copies included.
+  std::uint64_t datagrams_sent{0};
+  std::uint64_t wire_bytes_sent{0};
+  std::uint64_t acks_sent{0};
+
+  /// Cluster-wide obs registry: every harvested report's snapshot merged
+  /// (counters summed, histogram buckets summed — percentiles over the
+  /// union of all nodes' samples).
+  obs::RegistrySnapshot metrics;
+
   [[nodiscard]] std::uint64_t queries_sent() const {
     return full_queries_sent + delta_queries_sent;
   }
   [[nodiscard]] double bytes_per_query() const {
     return queries_sent() > 0 ? static_cast<double>(query_bytes_sent) /
+                                    static_cast<double>(queries_sent())
+                              : 0.0;
+  }
+  /// True wire cost per query — numerator is bytes handed to sendto(), not
+  /// the codec's protocol-payload accounting.
+  [[nodiscard]] double wire_bytes_per_query() const {
+    return queries_sent() > 0 ? static_cast<double>(wire_bytes_sent) /
                                     static_cast<double>(queries_sent())
                               : 0.0;
   }

@@ -1,0 +1,106 @@
+#include "obs/flight_recorder.h"
+
+#include <chrono>
+#include <fstream>
+#include <ostream>
+
+namespace mmrfd::obs {
+namespace {
+
+std::uint64_t wall_now_ns(const void*) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceClock wall_trace_clock() { return TraceClock{&wall_now_ns, nullptr}; }
+
+std::string_view trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kRoundOpen:
+      return "round_open";
+    case TraceKind::kRoundClose:
+      return "round_close";
+    case TraceKind::kQueryTx:
+      return "query_tx";
+    case TraceKind::kQueryRx:
+      return "query_rx";
+    case TraceKind::kResponseTx:
+      return "response_tx";
+    case TraceKind::kResponseRx:
+      return "response_rx";
+    case TraceKind::kSuspectAdd:
+      return "suspect_add";
+    case TraceKind::kSuspectDrop:
+      return "suspect_drop";
+    case TraceKind::kNeedFullTx:
+      return "need_full_tx";
+    case TraceKind::kNeedFullRx:
+      return "need_full_rx";
+    case TraceKind::kResync:
+      return "resync";
+    case TraceKind::kGiveUpSkip:
+      return "giveup_skip";
+    case TraceKind::kResendWave:
+      return "resend_wave";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity, TraceClock clock)
+    : clock_(clock), ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::set_clock(TraceClock clock) {
+  std::lock_guard lock(mutex_);
+  clock_ = clock;
+}
+
+void FlightRecorder::record(TraceKind kind, std::uint32_t a,
+                            std::uint32_t b) {
+  std::lock_guard lock(mutex_);
+  TraceRecord& slot = ring_[total_ % ring_.size()];
+  slot.t_ns = clock_.now();
+  slot.seq = total_;
+  slot.a = a;
+  slot.b = b;
+  slot.kind = kind;
+  ++total_;
+}
+
+std::vector<TraceRecord> FlightRecorder::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<TraceRecord> out;
+  const std::uint64_t live =
+      total_ < ring_.size() ? total_ : static_cast<std::uint64_t>(ring_.size());
+  out.reserve(static_cast<std::size_t>(live));
+  const std::uint64_t first = total_ - live;
+  for (std::uint64_t s = first; s < total_; ++s) {
+    out.push_back(ring_[s % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+void FlightRecorder::dump_text(std::ostream& out) const {
+  for (const TraceRecord& r : snapshot()) {
+    out << r.t_ns << " #" << r.seq << ' ' << trace_kind_name(r.kind)
+        << " a=" << r.a << " b=" << r.b << '\n';
+  }
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  dump_text(out);
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mmrfd::obs

@@ -1,0 +1,92 @@
+// Flight recorder: a fixed-size ring of compact binary trace records for
+// post-hoc "what did this node actually do" forensics.
+//
+// Each record is 24 bytes — timestamp, monotone sequence number, two
+// 32-bit operands and a kind tag. The clock is pluggable so the same
+// recorder works stamped by simulated time inside a deterministic run and
+// by the wall clock inside a real process; recording never draws
+// randomness, never schedules events, and never allocates (the ring is
+// sized once at construction), so it is safe to wire through the
+// fixed-seed golden-digest paths.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mmrfd::obs {
+
+// Pluggable timestamp source: a plain function pointer plus context so the
+// recorder can be stamped from a Simulation without obs depending on sim.
+struct TraceClock {
+  std::uint64_t (*now_ns)(const void* ctx) = nullptr;
+  const void* ctx = nullptr;
+
+  std::uint64_t now() const { return now_ns ? now_ns(ctx) : 0; }
+};
+
+// UNIX-epoch nanoseconds from the system clock — the live-path default.
+TraceClock wall_trace_clock();
+
+enum class TraceKind : std::uint8_t {
+  kRoundOpen = 1,    // a = round seq
+  kRoundClose = 2,   // a = round seq, b = |suspected|
+  kQueryTx = 3,      // a = peer, b = encoded bytes
+  kQueryRx = 4,      // a = peer, b = query seq
+  kResponseTx = 5,   // a = peer, b = need_full (0/1)
+  kResponseRx = 6,   // a = peer, b = need_full (0/1)
+  kSuspectAdd = 7,   // a = subject, b = low 32 bits of tag
+  kSuspectDrop = 8,  // a = subject, b = low 32 bits of tag
+  kNeedFullTx = 9,   // a = peer (we could not decode their delta)
+  kNeedFullRx = 10,  // a = peer (they could not decode ours)
+  kResync = 11,      // a = journal epoch at reset
+  kGiveUpSkip = 12,  // a = peer skipped this round
+  kResendWave = 13,  // a = wave number, b = silent peer count
+};
+
+std::string_view trace_kind_name(TraceKind kind);
+
+struct TraceRecord {
+  std::uint64_t t_ns{0};  // clock stamp
+  std::uint64_t seq{0};   // monotone per-recorder sequence number
+  std::uint32_t a{0};
+  std::uint32_t b{0};
+  TraceKind kind{};
+
+  friend bool operator==(const TraceRecord&, const TraceRecord&) = default;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity,
+                          TraceClock clock = wall_trace_clock());
+
+  void set_clock(TraceClock clock);
+
+  void record(TraceKind kind, std::uint32_t a = 0, std::uint32_t b = 0);
+
+  // Surviving records, oldest first. At most capacity() entries; once the
+  // ring wraps, the oldest records are the ones overwritten.
+  std::vector<TraceRecord> snapshot() const;
+
+  // Total records ever written (>= snapshot().size()).
+  std::uint64_t recorded() const;
+  std::size_t capacity() const { return ring_.size(); }
+
+  // Human-readable dump, one record per line:
+  //   <t_ns> #<seq> <kind> a=<a> b=<b>
+  void dump_text(std::ostream& out) const;
+  // dump_text to `path` (truncate); returns false on I/O failure.
+  bool dump_to_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mutex_;
+  TraceClock clock_;
+  std::vector<TraceRecord> ring_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace mmrfd::obs

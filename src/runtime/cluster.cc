@@ -64,6 +64,7 @@ MmrCluster::MmrCluster(const MmrClusterConfig& config)
     hc.initial_delay = Duration(static_cast<Duration::rep>(
         stagger_rng.next_double() *
         static_cast<double>(config_.pacing.count())));
+    hc.registry = config_.registry;
     hosts_.push_back(std::make_unique<MmrHost>(
         sim_, *net_, hc, &recorder_, log_.observer_for(ProcessId{i})));
   }

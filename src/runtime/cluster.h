@@ -92,6 +92,13 @@ struct MmrClusterConfig {
   std::uint32_t giveup_rounds{8};
   /// Watermark self-stabilization guard (DetectorConfig::resync_interval).
   std::uint32_t resync_interval{64};
+
+  /// Optional shared metrics registry for the cluster's sim.* instruments
+  /// (round counts, round-RTT histogram), forwarded to every host. The
+  /// sharded cluster ignores this and owns one registry per shard instead
+  /// (merged via telemetry()) so shard workers never share cache lines.
+  /// Collection is schedule-neutral; null = off.
+  obs::MetricsRegistry* registry{nullptr};
 };
 
 /// The config's composed delay model (preset + fast-set bias + spike).

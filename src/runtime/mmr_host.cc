@@ -16,6 +16,11 @@ MmrHost::MmrHost(sim::Simulation& simulation, MmrNetwork& network,
       jitter_rng_(derive_seed(config.jitter_seed, "host.jitter",
                               config.detector.self.value)) {
   assert(config_.pacing_jitter >= 0.0 && config_.pacing_jitter < 1.0);
+  if (config_.registry != nullptr) {
+    rounds_counter_ = &config_.registry->counter("sim.rounds");
+    round_rtt_ns_ = &config_.registry->histogram("sim.round_rtt_ns");
+  }
+  core_.set_recorder(config_.recorder);
   core_.set_observer(observer);
   net_.set_handler(id(), [this](ProcessId from, const MmrMessage& msg) {
     handle(from, msg);
@@ -35,6 +40,7 @@ void MmrHost::crash() {
 
 void MmrHost::begin_round() {
   if (crashed_) return;
+  round_start_ = sim_.now();
   if (core_.config().delta_queries) {
     delta_fan_out(net_, core_, id());
   } else {
@@ -57,6 +63,13 @@ void MmrHost::begin_round() {
 void MmrHost::on_terminated() {
   if (recorder_ != nullptr) {
     recorder_->record(id(), core_.query_seq(), sim_.now(), core_.winning());
+  }
+  // Sim-time round RTT (query start -> quorum): pure observation of now(),
+  // no scheduling, so the seeded event order is untouched.
+  if (round_rtt_ns_ != nullptr) {
+    round_rtt_ns_->observe(
+        static_cast<std::uint64_t>((sim_.now() - round_start_).count()));
+    rounds_counter_->add(1);
   }
   // Pacing window: late responses arriving before the next query still flow
   // into rec_from via on_response (accept_late_responses).

@@ -19,6 +19,7 @@
 #include "core/messages.h"
 #include "core/properties.h"
 #include "net/network.h"
+#include "obs/metrics_registry.h"
 #include "sim/simulation.h"
 
 namespace mmrfd::runtime {
@@ -70,6 +71,14 @@ struct MmrHostConfig {
   std::uint64_t jitter_seed{0};
   /// First query fires at this offset (stagger hosts to avoid lockstep).
   Duration initial_delay{Duration::zero()};
+  /// Optional shared metrics registry: the host contributes sim.rounds and
+  /// the sim.round_rtt_ns histogram (query start -> quorum, in sim time).
+  /// Collection is pure observation — now() reads, no RNG draws, no event
+  /// scheduling — so fixed-seed schedules are untouched. Null = off.
+  obs::MetricsRegistry* registry{nullptr};
+  /// Optional flight recorder forwarded to the core (round/suspicion/
+  /// resync traces under sim time). Null = off.
+  obs::FlightRecorder* recorder{nullptr};
 };
 
 class MmrHost {
@@ -108,6 +117,11 @@ class MmrHost {
   Xoshiro256 jitter_rng_;
   bool crashed_{false};
   bool started_{false};
+
+  // Optional registry instruments (null when config.registry is null).
+  obs::Counter* rounds_counter_{nullptr};
+  obs::Histogram* round_rtt_ns_{nullptr};
+  TimePoint round_start_{};
 };
 
 }  // namespace mmrfd::runtime

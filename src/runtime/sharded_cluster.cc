@@ -58,6 +58,7 @@ ShardedMmrCluster::ShardedMmrCluster(const MmrClusterConfig& config,
         });
     logs_.push_back(std::make_unique<metrics::EventLog>(
         engine_.shard(s), metrics::LogMode::kRollup));
+    registries_.push_back(std::make_unique<obs::MetricsRegistry>());
   }
 
   // Host construction mirrors MmrCluster exactly — one sequential stagger
@@ -82,10 +83,17 @@ ShardedMmrCluster::ShardedMmrCluster(const MmrClusterConfig& config,
         stagger_rng.next_double() *
         static_cast<double>(config_.pacing.count())));
     const std::uint32_t s = (*shard_of_)[i];
+    hc.registry = registries_[s].get();
     hosts_.push_back(std::make_unique<MmrHost>(
         engine_.shard(s), *nets_[s], hc, /*recorder=*/nullptr,
         logs_[s]->observer_for(ProcessId{i})));
   }
+}
+
+obs::RegistrySnapshot ShardedMmrCluster::telemetry() const {
+  obs::RegistrySnapshot merged;
+  for (const auto& reg : registries_) merged.merge(reg->snapshot());
+  return merged;
 }
 
 void ShardedMmrCluster::start(const CrashPlan& plan) {

@@ -37,6 +37,7 @@
 #include "metrics/analysis.h"
 #include "metrics/event_log.h"
 #include "net/network.h"
+#include "obs/metrics_registry.h"
 #include "runtime/cluster.h"
 #include "runtime/crash_plan.h"
 #include "runtime/mmr_host.h"
@@ -79,6 +80,16 @@ class ShardedMmrCluster {
     return *logs_.at(shard);
   }
 
+  /// Per-shard metrics registry: every host of shard s records its sim.*
+  /// instruments here, so shard workers never contend on shared counters.
+  [[nodiscard]] obs::MetricsRegistry& shard_metrics(std::uint32_t shard) {
+    return *registries_.at(shard);
+  }
+  /// Cluster-wide metrics: all per-shard registries merged (counters and
+  /// histogram buckets summed). Call after run_for()/run_until() returns —
+  /// never while the worker threads are mid-window.
+  [[nodiscard]] obs::RegistrySnapshot telemetry() const;
+
   /// Per-pair suspicion rollups merged across all shards, sorted by
   /// (observer, subject). Feed to metrics::summarize_rollup().
   [[nodiscard]] std::vector<metrics::PairRollup> rollup() const;
@@ -99,6 +110,7 @@ class ShardedMmrCluster {
   sim::ShardedEngine engine_;
   std::vector<std::unique_ptr<MmrNetwork>> nets_;
   std::vector<std::unique_ptr<metrics::EventLog>> logs_;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> registries_;
   std::vector<std::unique_ptr<MmrHost>> hosts_;
   bool started_{false};
 };

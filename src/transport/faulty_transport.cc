@@ -6,7 +6,19 @@ namespace mmrfd::transport {
 
 FaultyTransport::FaultyTransport(DatagramTransport& inner,
                                  const FaultConfig& config)
-    : inner_(inner), config_(config), rng_(config.seed) {}
+    : inner_(inner), config_(config), rng_(config.seed) {
+  if (config.registry == nullptr) {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  obs::MetricsRegistry& reg =
+      config.registry != nullptr ? *config.registry : *own_registry_;
+  sent_ = &reg.counter("fault.sent");
+  dropped_ = &reg.counter("fault.dropped");
+  duplicated_ = &reg.counter("fault.duplicated");
+  reordered_ = &reg.counter("fault.reordered");
+  corrupted_ = &reg.counter("fault.corrupted");
+  truncated_ = &reg.counter("fault.truncated");
+}
 
 void FaultyTransport::stop() {
   // Flush holdbacks first: a reordered datagram delayed past shutdown would
@@ -29,22 +41,22 @@ void FaultyTransport::send(ProcessId to,
   bool duplicate = false;
   {
     std::lock_guard lock(mutex_);
-    ++stats_.sent;
+    sent_->add(1);
     if (config_.drop_rate > 0.0 && rng_.bernoulli(config_.drop_rate)) {
-      ++stats_.dropped;
+      dropped_->add(1);
       return;
     }
     if (config_.reorder_rate > 0.0 && rng_.bernoulli(config_.reorder_rate)) {
       auto& slot = held_[to.value];
       if (slot.empty()) {
         // Stash this datagram; it goes out right after the peer's next one.
-        ++stats_.reordered;
+        reordered_->add(1);
         slot = std::move(mine);
         return;
       }
       // Slot occupied: swap, so the held datagram finally overtakes us.
       std::swap(slot, mine);
-      ++stats_.reordered;
+      reordered_->add(1);
     } else if (auto it = held_.find(to.value);
                it != held_.end() && !it->second.empty()) {
       // Release the held datagram *after* this one (that is the reorder).
@@ -53,7 +65,7 @@ void FaultyTransport::send(ProcessId to,
     }
     duplicate =
         config_.duplicate_rate > 0.0 && rng_.bernoulli(config_.duplicate_rate);
-    if (duplicate) ++stats_.duplicated;
+    if (duplicate) duplicated_->add(1);
   }
   std::vector<std::uint8_t> copy;
   if (duplicate) copy = mine;
@@ -70,7 +82,7 @@ void FaultyTransport::emit(ProcessId to, std::vector<std::uint8_t> datagram) {
     std::lock_guard lock(mutex_);
     if (config_.corrupt_rate > 0.0 && rng_.bernoulli(config_.corrupt_rate) &&
         !datagram.empty()) {
-      ++stats_.corrupted;
+      corrupted_->add(1);
       const std::uint64_t flips = 1 + rng_.next_below(4);
       for (std::uint64_t i = 0; i < flips; ++i) {
         const std::uint64_t draw = rng_.next();
@@ -81,7 +93,7 @@ void FaultyTransport::emit(ProcessId to, std::vector<std::uint8_t> datagram) {
     }
     if (config_.truncate_rate > 0.0 && rng_.bernoulli(config_.truncate_rate) &&
         !datagram.empty()) {
-      ++stats_.truncated;
+      truncated_->add(1);
       datagram.resize(rng_.next_below(datagram.size()));  // strict prefix
       truncated_to_nothing = datagram.empty();
     }
@@ -91,8 +103,14 @@ void FaultyTransport::emit(ProcessId to, std::vector<std::uint8_t> datagram) {
 }
 
 FaultStats FaultyTransport::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  FaultStats s;
+  s.sent = sent_->value();
+  s.dropped = dropped_->value();
+  s.duplicated = duplicated_->value();
+  s.reordered = reordered_->value();
+  s.corrupted = corrupted_->value();
+  s.truncated = truncated_->value();
+  return s;
 }
 
 }  // namespace mmrfd::transport

@@ -21,12 +21,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/metrics_registry.h"
 #include "transport/datagram.h"
 
 namespace mmrfd::transport {
@@ -38,6 +40,9 @@ struct FaultConfig {
   double corrupt_rate{0.0};
   double truncate_rate{0.0};
   std::uint64_t seed{1};
+  /// Shared metrics registry for the fault.* counters; the decorator owns a
+  /// private one when null.
+  obs::MetricsRegistry* registry{nullptr};
 };
 
 struct FaultStats {
@@ -76,7 +81,14 @@ class FaultyTransport final : public DatagramTransport {
 
   mutable std::mutex mutex_;
   Xoshiro256 rng_;
-  FaultStats stats_;
+  // Registry-backed counters (config.registry or the private fallback).
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::Counter* sent_{nullptr};
+  obs::Counter* dropped_{nullptr};
+  obs::Counter* duplicated_{nullptr};
+  obs::Counter* reordered_{nullptr};
+  obs::Counter* corrupted_{nullptr};
+  obs::Counter* truncated_{nullptr};
   /// Per-destination holdback slot for reordering: a stashed datagram is
   /// emitted right after the next send to the same peer (and flushed by
   /// stop(), so nothing is silently swallowed at shutdown).

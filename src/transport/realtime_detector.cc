@@ -1,5 +1,6 @@
 #include "transport/realtime_detector.h"
 
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -8,6 +9,26 @@ namespace mmrfd::transport {
 RealTimeDetector::RealTimeDetector(Transport& transport,
                                    const RealTimeConfig& config)
     : transport_(transport), config_(config), core_(config.detector) {
+  if (config.registry == nullptr) {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  obs::MetricsRegistry& reg =
+      config.registry != nullptr ? *config.registry : *own_registry_;
+  registry_ = &reg;
+  full_queries_sent_ = &reg.counter("rt.full_queries_sent");
+  delta_queries_sent_ = &reg.counter("rt.delta_queries_sent");
+  queries_received_ = &reg.counter("rt.queries_received");
+  responses_received_ = &reg.counter("rt.responses_received");
+  responses_sent_ = &reg.counter("rt.responses_sent");
+  need_full_sent_ = &reg.counter("rt.need_full_sent");
+  need_full_received_ = &reg.counter("rt.need_full_received");
+  query_bytes_sent_ = &reg.counter("rt.query_bytes_sent");
+  response_bytes_sent_ = &reg.counter("rt.response_bytes_sent");
+  rounds_counter_ = &reg.counter("rt.rounds");
+  resend_waves_ = &reg.counter("rt.resend_waves");
+  round_rtt_ns_ = &reg.histogram("rt.round_rtt_ns");
+  recorder_ = config.recorder;
+  core_.set_recorder(config.recorder);
   transport_.set_handler([this](ProcessId from, const WireMessage& msg) {
     on_datagram(from, msg);
   });
@@ -65,6 +86,7 @@ void RealTimeDetector::driver_loop() {
     std::uint32_t skipped = 0;
     WireMessage full;
     core_.begin_query();
+    const auto round_start = std::chrono::steady_clock::now();
     bool full_built = false;
     for (std::uint32_t i = 0; i < n; ++i) {
       const ProcessId to{i};
@@ -103,14 +125,20 @@ void RealTimeDetector::driver_loop() {
       for (auto& [to, msg] : deltas) transport_.send(to, msg);
     }
     if (!full_peers.empty()) {
-      full_queries_sent_.fetch_add(full_peers.size(),
-                                   std::memory_order_relaxed);
-      query_bytes_sent_.fetch_add(query_size(full) * full_peers.size(),
-                                  std::memory_order_relaxed);
+      const std::uint64_t full_bytes = query_size(full);
+      full_queries_sent_->add(full_peers.size());
+      query_bytes_sent_->add(full_bytes * full_peers.size());
+      for (const ProcessId to : full_peers) {
+        trace(obs::TraceKind::kQueryTx, to.value,
+              static_cast<std::uint32_t>(full_bytes));
+      }
     }
-    delta_queries_sent_.fetch_add(deltas.size(), std::memory_order_relaxed);
+    delta_queries_sent_->add(deltas.size());
     for (const auto& [to, msg] : deltas) {
-      query_bytes_sent_.fetch_add(query_size(msg), std::memory_order_relaxed);
+      const std::uint64_t bytes = query_size(msg);
+      query_bytes_sent_->add(bytes);
+      trace(obs::TraceKind::kQueryTx, to.value,
+            static_cast<std::uint32_t>(bytes));
     }
     lock.lock();
     // Wait for the quorum-th response (self counts already); re-checked on
@@ -153,39 +181,49 @@ void RealTimeDetector::driver_loop() {
       const WireMessage refresh{core_.full_query()};
       lock.unlock();
       for (const ProcessId to : silent) transport_.send(to, refresh);
-      full_queries_sent_.fetch_add(silent.size(), std::memory_order_relaxed);
-      query_bytes_sent_.fetch_add(query_size(refresh) * silent.size(),
-                                  std::memory_order_relaxed);
+      resend_waves_->add(1);
+      trace(obs::TraceKind::kResendWave, resend_waves,
+            static_cast<std::uint32_t>(silent.size()));
+      full_queries_sent_->add(silent.size());
+      query_bytes_sent_->add(query_size(refresh) * silent.size());
       lock.lock();
     }
     if (stopping_) return;
+    // Quorum reached: the wall-clock span from query build to termination
+    // is the round's RTT (the paper's "query round trip"), the live
+    // counterpart of the simulator's round-RTT histogram.
+    round_rtt_ns_->observe(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - round_start)
+            .count()));
     // Pacing window: late responses keep flowing into rec_from meanwhile.
     quorum_cv_.wait_for(lock, config_.pacing, [&] { return stopping_; });
     if (stopping_) return;
     core_.finish_round();
+    rounds_counter_->add(1);
   }
 }
 
 void RealTimeDetector::on_datagram(ProcessId from, const WireMessage& msg) {
   if (const auto* q = std::get_if<core::QueryMessage>(&msg)) {
-    queries_received_.fetch_add(1, std::memory_order_relaxed);
+    queries_received_->add(1);
+    trace(obs::TraceKind::kQueryRx, from.value,
+          static_cast<std::uint32_t>(q->seq));
     core::ResponseMessage response;
     {
       std::lock_guard lock(mutex_);
       response = core_.on_query(from, *q);
     }
-    if (response.need_full) {
-      need_full_sent_.fetch_add(1, std::memory_order_relaxed);
-    }
-    responses_sent_.fetch_add(1, std::memory_order_relaxed);
-    response_bytes_sent_.fetch_add(wire_size(response),
-                                   std::memory_order_relaxed);
+    if (response.need_full) need_full_sent_->add(1);
+    responses_sent_->add(1);
+    response_bytes_sent_->add(wire_size(response));
+    trace(obs::TraceKind::kResponseTx, from.value,
+          response.need_full ? 1 : 0);
     transport_.send(from, WireMessage{response});
   } else if (const auto* r = std::get_if<core::ResponseMessage>(&msg)) {
-    responses_received_.fetch_add(1, std::memory_order_relaxed);
-    if (r->need_full) {
-      need_full_received_.fetch_add(1, std::memory_order_relaxed);
-    }
+    responses_received_->add(1);
+    if (r->need_full) need_full_received_->add(1);
+    trace(obs::TraceKind::kResponseRx, from.value, r->need_full ? 1 : 0);
     bool terminated = false;
     {
       std::lock_guard lock(mutex_);
@@ -202,16 +240,15 @@ void RealTimeDetector::set_observer(core::SuspicionObserver* observer) {
 
 RealTimeStats RealTimeDetector::stats() const {
   RealTimeStats s;
-  s.full_queries_sent = full_queries_sent_.load(std::memory_order_relaxed);
-  s.delta_queries_sent = delta_queries_sent_.load(std::memory_order_relaxed);
-  s.queries_received = queries_received_.load(std::memory_order_relaxed);
-  s.responses_received = responses_received_.load(std::memory_order_relaxed);
-  s.responses_sent = responses_sent_.load(std::memory_order_relaxed);
-  s.need_full_sent = need_full_sent_.load(std::memory_order_relaxed);
-  s.need_full_received = need_full_received_.load(std::memory_order_relaxed);
-  s.query_bytes_sent = query_bytes_sent_.load(std::memory_order_relaxed);
-  s.response_bytes_sent =
-      response_bytes_sent_.load(std::memory_order_relaxed);
+  s.full_queries_sent = full_queries_sent_->value();
+  s.delta_queries_sent = delta_queries_sent_->value();
+  s.queries_received = queries_received_->value();
+  s.responses_received = responses_received_->value();
+  s.responses_sent = responses_sent_->value();
+  s.need_full_sent = need_full_sent_->value();
+  s.need_full_received = need_full_received_->value();
+  s.query_bytes_sent = query_bytes_sent_->value();
+  s.response_bytes_sent = response_bytes_sent_->value();
   return s;
 }
 

@@ -10,14 +10,16 @@
 // any contention concern at protocol rates.
 #pragma once
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/detector_core.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics_registry.h"
 #include "transport/transport.h"
 
 namespace mmrfd::transport {
@@ -35,6 +37,13 @@ struct RealTimeConfig {
   /// seq; responders are deduplicated) and carries no failure judgement —
   /// this is retransmission, not a timeout.
   Duration resend{from_millis(500)};
+  /// Shared metrics registry for the rt.* instruments; the detector owns a
+  /// private one when null. Sharing one registry across the node's whole
+  /// stack gives the report writer a single snapshot to embed.
+  obs::MetricsRegistry* registry{nullptr};
+  /// Flight recorder for query/response/resend traces, forwarded to the
+  /// core for its round/suspicion records too (may be null).
+  obs::FlightRecorder* recorder{nullptr};
 };
 
 /// Protocol/wire counters of one live detector, all monotone since start().
@@ -88,9 +97,18 @@ class RealTimeDetector final : public core::FailureDetector {
   /// Snapshot of the wire/protocol counters. Thread-safe, lock-free.
   [[nodiscard]] RealTimeStats stats() const;
 
+  /// The registry backing the rt.* instruments (config.registry or the
+  /// private fallback).
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return *registry_;
+  }
+
  private:
   void driver_loop();
   void on_datagram(ProcessId from, const WireMessage& msg);
+  void trace(obs::TraceKind kind, std::uint32_t a, std::uint32_t b) const {
+    if (recorder_ != nullptr) recorder_->record(kind, a, b);
+  }
 
   Transport& transport_;
   RealTimeConfig config_;
@@ -102,18 +120,26 @@ class RealTimeDetector final : public core::FailureDetector {
   bool stopping_{false};
   std::thread driver_;
 
-  // Counters are atomics, not mutex-guarded state: the driver thread bumps
-  // the tx side outside the core lock (sends happen unlocked) and stats()
-  // must stay callable from report-flush threads without contending.
-  std::atomic<std::uint64_t> full_queries_sent_{0};
-  std::atomic<std::uint64_t> delta_queries_sent_{0};
-  std::atomic<std::uint64_t> queries_received_{0};
-  std::atomic<std::uint64_t> responses_received_{0};
-  std::atomic<std::uint64_t> responses_sent_{0};
-  std::atomic<std::uint64_t> need_full_sent_{0};
-  std::atomic<std::uint64_t> need_full_received_{0};
-  std::atomic<std::uint64_t> query_bytes_sent_{0};
-  std::atomic<std::uint64_t> response_bytes_sent_{0};
+  // Instruments are registry-backed relaxed atomics, not mutex-guarded
+  // state: the driver thread bumps the tx side outside the core lock (sends
+  // happen unlocked) and stats() must stay callable from report-flush
+  // threads without contending. References are resolved once in the
+  // constructor and stay valid for the registry's lifetime.
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::MetricsRegistry* registry_{nullptr};
+  obs::FlightRecorder* recorder_{nullptr};
+  obs::Counter* full_queries_sent_{nullptr};
+  obs::Counter* delta_queries_sent_{nullptr};
+  obs::Counter* queries_received_{nullptr};
+  obs::Counter* responses_received_{nullptr};
+  obs::Counter* responses_sent_{nullptr};
+  obs::Counter* need_full_sent_{nullptr};
+  obs::Counter* need_full_received_{nullptr};
+  obs::Counter* query_bytes_sent_{nullptr};
+  obs::Counter* response_bytes_sent_{nullptr};
+  obs::Counter* rounds_counter_{nullptr};
+  obs::Counter* resend_waves_{nullptr};
+  obs::Histogram* round_rtt_ns_{nullptr};
 };
 
 }  // namespace mmrfd::transport

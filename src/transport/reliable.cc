@@ -51,6 +51,20 @@ ReliableDatagram::ReliableDatagram(DatagramTransport& inner,
       config_(config),
       next_seq_(inner.cluster_size(), 0),
       seen_(inner.cluster_size()) {
+  if (config.registry == nullptr) {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  obs::MetricsRegistry& reg =
+      config.registry != nullptr ? *config.registry : *own_registry_;
+  data_sent_ = &reg.counter("rel.data_sent");
+  retransmissions_ = &reg.counter("rel.retransmissions");
+  gave_up_ = &reg.counter("rel.gave_up");
+  duplicates_ = &reg.counter("rel.duplicates");
+  acks_sent_ = &reg.counter("rel.acks_sent");
+  malformed_ = &reg.counter("rel.malformed");
+  data_bytes_sent_ = &reg.counter("rel.data_bytes_sent");
+  retransmit_bytes_sent_ = &reg.counter("rel.retransmit_bytes_sent");
+  ack_bytes_sent_ = &reg.counter("rel.ack_bytes_sent");
   inner_.set_handler(
       [this](std::span<const std::uint8_t> frame) { on_frame(frame); });
 }
@@ -96,15 +110,15 @@ void ReliableDatagram::send(ProcessId to,
     frame = make_frame(kFrameData, self(), seq, datagram);
     pending_.emplace(std::make_pair(to.value, seq),
                      Pending{to, frame, 0, std::chrono::steady_clock::now()});
-    ++stats_.data_sent;
   }
+  data_sent_->add(1);
+  data_bytes_sent_->add(frame.size());  // payload + 13-byte framing
   inner_.send(to, frame);
 }
 
 void ReliableDatagram::on_frame(std::span<const std::uint8_t> frame) {
   if (frame.size() < kFrameHeader) {
-    std::lock_guard lock(mutex_);
-    ++stats_.malformed;
+    malformed_->add(1);
     return;
   }
   Decoder d(frame);
@@ -112,8 +126,7 @@ void ReliableDatagram::on_frame(std::span<const std::uint8_t> frame) {
   const auto sender = d.u32();
   const auto seq = d.u64();
   if (!type || !sender || !seq || *sender >= cluster_size()) {
-    std::lock_guard lock(mutex_);
-    ++stats_.malformed;
+    malformed_->add(1);
     return;
   }
 
@@ -123,8 +136,7 @@ void ReliableDatagram::on_frame(std::span<const std::uint8_t> frame) {
     return;
   }
   if (*type != kFrameData) {
-    std::lock_guard lock(mutex_);
-    ++stats_.malformed;
+    malformed_->add(1);
     return;
   }
 
@@ -132,16 +144,17 @@ void ReliableDatagram::on_frame(std::span<const std::uint8_t> frame) {
   // was lost.
   const auto ack = make_frame(kFrameAck, self(), *seq, {});
   inner_.send(ProcessId{*sender}, ack);
+  acks_sent_->add(1);
+  ack_bytes_sent_->add(ack.size());
 
   bool fresh = false;
   DatagramHandler handler;
   {
     std::lock_guard lock(mutex_);
-    ++stats_.acks_sent;
     fresh = seen_.at(*sender).mark(*seq);
-    if (!fresh) ++stats_.duplicates;
     handler = handler_;
   }
+  if (!fresh) duplicates_->add(1);
   if (fresh && handler) {
     handler(frame.subspan(kFrameHeader));
   }
@@ -164,24 +177,36 @@ void ReliableDatagram::retransmit_loop() {
         continue;
       }
       if (++it->second.retries > config_.max_retries) {
-        ++stats_.gave_up;
+        gave_up_->add(1);
         it = pending_.erase(it);
         continue;
       }
-      ++stats_.retransmissions;
+      retransmissions_->add(1);
       it->second.last_send = now;
       resend.emplace_back(it->second.to, it->second.frame);
       ++it;
     }
     lock.unlock();
-    for (const auto& [to, frame] : resend) inner_.send(to, frame);
+    for (const auto& [to, frame] : resend) {
+      retransmit_bytes_sent_->add(frame.size());
+      inner_.send(to, frame);
+    }
     lock.lock();
   }
 }
 
 ReliableStats ReliableDatagram::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  ReliableStats s;
+  s.data_sent = data_sent_->value();
+  s.retransmissions = retransmissions_->value();
+  s.gave_up = gave_up_->value();
+  s.duplicates = duplicates_->value();
+  s.acks_sent = acks_sent_->value();
+  s.malformed = malformed_->value();
+  s.data_bytes_sent = data_bytes_sent_->value();
+  s.retransmit_bytes_sent = retransmit_bytes_sent_->value();
+  s.ack_bytes_sent = ack_bytes_sent_->value();
+  return s;
 }
 
 std::size_t ReliableDatagram::unacked() const {

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <span>
@@ -30,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "transport/datagram.h"
 
 namespace mmrfd::transport {
@@ -64,6 +66,9 @@ class SeqTracker {
 struct ReliableConfig {
   Duration retransmit_interval{from_millis(20)};
   int max_retries{50};
+  /// Shared metrics registry for the rel.* counters; the layer owns a
+  /// private one when null.
+  obs::MetricsRegistry* registry{nullptr};
 };
 
 struct ReliableStats {
@@ -73,6 +78,17 @@ struct ReliableStats {
   std::uint64_t duplicates{0};    ///< received DATA suppressed by dedup
   std::uint64_t acks_sent{0};
   std::uint64_t malformed{0};
+  /// True wire-byte accounting (closes the "bytes/query understates the
+  /// wire" gap): every byte this layer hands the inner transport, framing
+  /// header included, split by cause. The upper layer's query/response
+  /// byte counters see none of this overhead.
+  std::uint64_t data_bytes_sent{0};        ///< first transmissions
+  std::uint64_t retransmit_bytes_sent{0};  ///< re-sent frames
+  std::uint64_t ack_bytes_sent{0};         ///< 13-byte ACK frames
+
+  [[nodiscard]] std::uint64_t wire_bytes_sent() const {
+    return data_bytes_sent + retransmit_bytes_sent + ack_bytes_sent;
+  }
 };
 
 class ReliableDatagram final : public DatagramTransport {
@@ -124,8 +140,20 @@ class ReliableDatagram final : public DatagramTransport {
   std::vector<std::uint64_t> next_seq_;            // per destination
   std::map<std::pair<std::uint32_t, std::uint64_t>, Pending> pending_;
   std::vector<SeqTracker> seen_;                   // per sender
-  ReliableStats stats_;
   std::thread retransmitter_;
+
+  // Registry-backed counters (config.registry or the private fallback);
+  // resolved once in the constructor.
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::Counter* data_sent_{nullptr};
+  obs::Counter* retransmissions_{nullptr};
+  obs::Counter* gave_up_{nullptr};
+  obs::Counter* duplicates_{nullptr};
+  obs::Counter* acks_sent_{nullptr};
+  obs::Counter* malformed_{nullptr};
+  obs::Counter* data_bytes_sent_{nullptr};
+  obs::Counter* retransmit_bytes_sent_{nullptr};
+  obs::Counter* ack_bytes_sent_{nullptr};
 };
 
 }  // namespace mmrfd::transport

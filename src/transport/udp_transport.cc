@@ -44,6 +44,18 @@ std::size_t slot_size(std::uint32_t n) {
 
 UdpTransport::UdpTransport(const UdpConfig& config) : config_(config) {
   assert(config_.n > 0 && config_.self.value < config_.n);
+  if (config.registry == nullptr) {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+  }
+  obs::MetricsRegistry& reg =
+      config.registry != nullptr ? *config.registry : *own_registry_;
+  datagrams_received_ = &reg.counter("udp.datagrams_received");
+  bytes_received_ = &reg.counter("udp.bytes_received");
+  truncated_ = &reg.counter("udp.truncated");
+  recv_errors_ = &reg.counter("udp.recv_errors");
+  datagrams_sent_ = &reg.counter("udp.datagrams_sent");
+  bytes_sent_ = &reg.counter("udp.bytes_sent");
+  rcvbuf_gauge_ = &reg.gauge("udp.rcvbuf_bytes");
 }
 
 UdpTransport::~UdpTransport() { stop(); }
@@ -73,6 +85,7 @@ void UdpTransport::start() {
   socklen_t granted_len = sizeof granted;
   if (::getsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &granted, &granted_len) == 0) {
     rcvbuf_bytes_ = static_cast<std::uint64_t>(granted);
+    rcvbuf_gauge_->set(granted);
   }
   const sockaddr_in addr = peer_address(config_.base_port, config_.self);
   if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
@@ -104,6 +117,10 @@ void UdpTransport::send(ProcessId to,
     sent = ::sendto(fd_, datagram.data(), datagram.size(), 0,
                     reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
   } while (sent < 0 && errno == EINTR);
+  if (sent >= 0) {
+    datagrams_sent_->add(1);
+    bytes_sent_->add(static_cast<std::uint64_t>(sent));
+  }
   if (sent < 0 && errno != ECONNREFUSED) {
     // ECONNREFUSED is a late ICMP echo of a previous send to a dead peer —
     // routine while the cluster suspects a crashed process, not worth noise.
@@ -125,16 +142,16 @@ std::size_t UdpTransport::drain_ready() {
   const int got = ::recvmmsg(fd_, msgs, kRecvBatch, MSG_DONTWAIT, nullptr);
   if (got < 0) {
     if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
-      recv_errors_.fetch_add(1, std::memory_order_relaxed);
+      recv_errors_->add(1);
     }
     return 0;
   }
   for (int i = 0; i < got; ++i) {
     const std::size_t len = msgs[i].msg_len;
-    datagrams_received_.fetch_add(1, std::memory_order_relaxed);
-    bytes_received_.fetch_add(len, std::memory_order_relaxed);
+    datagrams_received_->add(1);
+    bytes_received_->add(len);
     if ((msgs[i].msg_hdr.msg_flags & MSG_TRUNC) != 0) {
-      truncated_.fetch_add(1, std::memory_order_relaxed);
+      truncated_->add(1);
       continue;  // partial datagram: dropped, but counted
     }
     handler_(std::span<const std::uint8_t>(recv_buffers_.data() + i * slot,
@@ -146,13 +163,12 @@ std::size_t UdpTransport::drain_ready() {
                               nullptr, nullptr);
   if (got < 0) {
     if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK) {
-      recv_errors_.fetch_add(1, std::memory_order_relaxed);
+      recv_errors_->add(1);
     }
     return 0;
   }
-  datagrams_received_.fetch_add(1, std::memory_order_relaxed);
-  bytes_received_.fetch_add(static_cast<std::uint64_t>(got),
-                            std::memory_order_relaxed);
+  datagrams_received_->add(1);
+  bytes_received_->add(static_cast<std::uint64_t>(got));
   handler_(std::span<const std::uint8_t>(recv_buffers_.data(),
                                          static_cast<std::size_t>(got)));
   return 1;
@@ -164,7 +180,7 @@ void UdpTransport::receive_loop() {
     pollfd pfd{fd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
     if (ready < 0) {
-      if (errno != EINTR) recv_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (errno != EINTR) recv_errors_->add(1);
       continue;  // EINTR: re-check stopping_ and poll again
     }
     if (ready == 0) continue;  // timeout: re-check stopping_
@@ -177,11 +193,13 @@ void UdpTransport::receive_loop() {
 
 UdpStats UdpTransport::stats() const {
   UdpStats s;
-  s.datagrams_received = datagrams_received_.load(std::memory_order_relaxed);
-  s.bytes_received = bytes_received_.load(std::memory_order_relaxed);
-  s.truncated = truncated_.load(std::memory_order_relaxed);
-  s.recv_errors = recv_errors_.load(std::memory_order_relaxed);
+  s.datagrams_received = datagrams_received_->value();
+  s.bytes_received = bytes_received_->value();
+  s.truncated = truncated_->value();
+  s.recv_errors = recv_errors_->value();
   s.rcvbuf_bytes = rcvbuf_bytes_;
+  s.datagrams_sent = datagrams_sent_->value();
+  s.bytes_sent = bytes_sent_->value();
   return s;
 }
 

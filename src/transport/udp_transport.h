@@ -18,10 +18,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics_registry.h"
 #include "transport/datagram.h"
 
 namespace mmrfd::transport {
@@ -34,10 +36,15 @@ struct UdpConfig {
   /// round's fan-in of full queries fits while the receiver thread is
   /// descheduled). The kernel may clamp; UdpStats reports the granted size.
   std::uint32_t socket_buffer_bytes{0};
+  /// Shared metrics registry for the udp.* instruments; the transport owns
+  /// a private one when null.
+  obs::MetricsRegistry* registry{nullptr};
 };
 
-/// Wire-level receive accounting. Every datagram the kernel hands us is
-/// counted exactly once: delivered, truncated, or errored.
+/// Wire-level accounting. Every datagram the kernel hands us is counted
+/// exactly once: delivered, truncated, or errored; every datagram we hand
+/// the kernel is counted on the send side — the ground-truth wire bytes
+/// this process emitted, all framing included.
 struct UdpStats {
   std::uint64_t datagrams_received{0};
   std::uint64_t bytes_received{0};
@@ -47,6 +54,9 @@ struct UdpStats {
   std::uint64_t recv_errors{0};
   /// SO_RCVBUF actually granted by the kernel (doubled on Linux).
   std::uint64_t rcvbuf_bytes{0};
+  /// Datagrams/bytes accepted by sendto() (failed sends are not counted).
+  std::uint64_t datagrams_sent{0};
+  std::uint64_t bytes_sent{0};
 };
 
 class UdpTransport final : public DatagramTransport {
@@ -88,10 +98,16 @@ class UdpTransport final : public DatagramTransport {
   // on Linux, a single slot for the portable recvfrom path.
   std::vector<std::uint8_t> recv_buffers_;
 
-  std::atomic<std::uint64_t> datagrams_received_{0};
-  std::atomic<std::uint64_t> bytes_received_{0};
-  std::atomic<std::uint64_t> truncated_{0};
-  std::atomic<std::uint64_t> recv_errors_{0};
+  // Registry-backed counters (config.registry or the private fallback) —
+  // same relaxed-atomic cost as the raw members they replaced.
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::Counter* datagrams_received_{nullptr};
+  obs::Counter* bytes_received_{nullptr};
+  obs::Counter* truncated_{nullptr};
+  obs::Counter* recv_errors_{nullptr};
+  obs::Counter* datagrams_sent_{nullptr};
+  obs::Counter* bytes_sent_{nullptr};
+  obs::Gauge* rcvbuf_gauge_{nullptr};
   std::uint64_t rcvbuf_bytes_{0};
 };
 

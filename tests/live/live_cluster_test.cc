@@ -10,10 +10,20 @@
 // eventual convergence, never on tight timing.
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <filesystem>
-#include <string>
+#include <csignal>
+#include <sys/wait.h>
 #include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "live/supervisor.h"
 
@@ -22,6 +32,34 @@ namespace {
 
 std::string fresh_report_dir(const std::string& tag) {
   return "live_cluster_test." + tag + "." + std::to_string(::getpid());
+}
+
+/// Extracts the {"name":value,...} object after `"c":` in one telemetry
+/// line. Tiny hand-rolled parser: the emitter writes plain [a-z._] names and
+/// decimal values, nothing else.
+std::map<std::string, std::uint64_t> parse_counters(const std::string& line) {
+  std::map<std::string, std::uint64_t> out;
+  const auto c_at = line.find("\"c\":{");
+  if (c_at == std::string::npos) return out;
+  std::size_t pos = c_at + 5;
+  while (pos < line.size() && line[pos] != '}') {
+    const auto name_start = line.find('"', pos);
+    if (name_start == std::string::npos) break;
+    const auto name_end = line.find('"', name_start + 1);
+    if (name_end == std::string::npos) break;
+    const auto colon = line.find(':', name_end);
+    if (colon == std::string::npos) break;
+    std::size_t value_end = colon + 1;
+    while (value_end < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[value_end]))) {
+      ++value_end;
+    }
+    out[line.substr(name_start + 1, name_end - name_start - 1)] =
+        std::stoull(line.substr(colon + 1, value_end - colon - 1));
+    pos = value_end;
+    if (pos < line.size() && line[pos] == ',') ++pos;
+  }
+  return out;
 }
 
 const NodeReport* final_report(const LiveRunResult& result, std::uint32_t id) {
@@ -266,6 +304,145 @@ TEST(LiveCluster, GiveupPolicyCutsFullQueriesAtScale) {
             without_policy.full_queries_sent * 2 / 3)
       << "give-up on: " << with_policy.full_queries_sent
       << " give-up off: " << without_policy.full_queries_sent;
+}
+
+TEST(LiveCluster, TelemetrySeriesSumsToRollup) {
+  // The observability acceptance check: the supervisor's telemetry.jsonl
+  // time series must be internally consistent — the end-of-run rollup line
+  // is EXACTLY the per-counter sum of the per-node final lines, and the
+  // in-memory LiveRunResult.metrics is the same merge of the harvested
+  // report snapshots. Reliable framing is on so the wire-byte counters
+  // exercise the 13-byte-header + ack accounting path too.
+  constexpr std::uint32_t kN = 5;
+  SupervisorConfig cfg;
+  cfg.n = kN;
+  cfg.f = 1;
+  cfg.base_port = 48300;
+  cfg.pacing = from_millis(50);
+  cfg.flush = from_millis(100);
+  cfg.telemetry = from_millis(250);
+  cfg.delta = true;
+  cfg.reliable = true;
+  cfg.report_dir = fresh_report_dir("telemetry");
+
+  Supervisor supervisor(cfg);
+  const LiveRunResult result = supervisor.run({}, from_seconds(4));
+  EXPECT_EQ(result.unexpected_exits, 0u);
+  EXPECT_EQ(result.missing_reports, 0u);
+
+  // In-memory consistency: the result's merged registry equals re-merging
+  // every harvested report's snapshot, and the headline counters moved.
+  obs::RegistrySnapshot remerged;
+  for (const LiveNodeOutcome& node : result.nodes) {
+    for (const NodeReport& r : node.reports) remerged.merge(r.metrics);
+  }
+  EXPECT_EQ(result.metrics, remerged);
+  EXPECT_GT(result.metrics.counter_value("rt.rounds"), 0u);
+  EXPECT_EQ(result.metrics.counter_value("rt.rounds"), result.rounds);
+  ASSERT_NE(result.metrics.find_histogram("rt.round_rtt_ns"), nullptr);
+  EXPECT_GT(result.metrics.find_histogram("rt.round_rtt_ns")->count, 0u);
+
+  // Wire accounting: socket-level egress strictly exceeds the codec's
+  // protocol-payload byte count (13-byte reliability headers + acks).
+  EXPECT_GT(result.datagrams_sent, 0u);
+  EXPECT_GT(result.wire_bytes_sent,
+            result.query_bytes_sent + result.response_bytes_sent);
+  EXPECT_GT(result.wire_bytes_per_query(), result.bytes_per_query());
+
+  // File-side consistency: sum the final lines, compare to the rollup.
+  std::ifstream is(cfg.report_dir + "/telemetry.jsonl");
+  ASSERT_TRUE(is.good()) << "telemetry.jsonl was not written";
+  std::map<std::string, std::uint64_t> final_sum;
+  std::map<std::string, std::uint64_t> rollup;
+  std::size_t final_lines = 0;
+  std::size_t series_lines = 0;
+  bool saw_rollup = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.find("\"rollup\":true") != std::string::npos) {
+      rollup = parse_counters(line);
+      saw_rollup = true;
+    } else if (line.find("\"final\":true") != std::string::npos) {
+      ++final_lines;
+      for (const auto& [name, value] : parse_counters(line)) {
+        final_sum[name] += value;
+      }
+    } else {
+      ++series_lines;
+    }
+  }
+  ASSERT_TRUE(saw_rollup);
+  EXPECT_EQ(final_lines, kN);  // no crashes: one final line per node
+  EXPECT_GT(series_lines, 0u);  // periodic sampling actually ran
+  EXPECT_EQ(final_sum, rollup);
+  EXPECT_EQ(rollup["rt.rounds"], result.rounds);
+
+  std::filesystem::remove_all(cfg.report_dir);
+}
+
+TEST(LiveCluster, Sigusr1DumpsFlightRecorder) {
+  // SIGUSR1 must make a running node dump its flight-recorder ring next to
+  // its report file without disturbing the process. One node with n=2, f=1
+  // suffices: quorum is n - f = 1, so the node's own response closes every
+  // round and the recorder fills with round/query traffic even though the
+  // peer never exists.
+  const std::string dir = fresh_report_dir("sigusr1");
+  std::filesystem::create_directories(dir);
+  const std::string report = dir + "/node0.g0.bin";
+  const std::string binary = default_node_binary();
+
+  const std::vector<std::string> arg_strings = {
+      binary,          "--self=0",        "--n=2",
+      "--f=1",         "--base-port=48400", "--pacing-ms=20",
+      "--flush-ms=50", "--report=" + report};
+  std::vector<char*> argv;
+  argv.reserve(arg_strings.size() + 1);
+  for (const std::string& s : arg_strings) {
+    argv.push_back(const_cast<char*>(s.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::execv(binary.c_str(), argv.data());
+    _exit(127);  // exec failed
+  }
+
+  // Let it make rounds, then ask for the dump and poll for the file (the
+  // node checks the signal flag on its 20 ms housekeeping tick).
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  ASSERT_EQ(::kill(pid, SIGUSR1), 0);
+  const std::string trace_path = report + ".trace";
+  for (int i = 0; i < 100 && !std::filesystem::exists(trace_path); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  ::kill(pid, SIGTERM);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "node did not exit cleanly";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  ASSERT_TRUE(std::filesystem::exists(trace_path));
+  std::ifstream is(trace_path);
+  std::size_t lines = 0;
+  bool saw_round_open = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    ++lines;
+    // Every line is "<t_ns> #<seq> <kind> a=<u32> b=<u32>".
+    ASSERT_TRUE(std::isdigit(static_cast<unsigned char>(line.front())))
+        << "bad trace line: " << line;
+    EXPECT_NE(line.find(" #"), std::string::npos) << line;
+    EXPECT_NE(line.find(" a="), std::string::npos) << line;
+    EXPECT_NE(line.find(" b="), std::string::npos) << line;
+    if (line.find(" round_open ") != std::string::npos) saw_round_open = true;
+  }
+  EXPECT_GT(lines, 0u);
+  EXPECT_TRUE(saw_round_open);
+
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

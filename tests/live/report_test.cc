@@ -41,6 +41,22 @@ NodeReport sample_report() {
   r.retransmissions = 17;
   r.gave_up = 1;
   r.duplicates = 5;
+  r.datagrams_sent = 6100;
+  r.bytes_sent = 160'000;
+  r.acks_sent = 2900;
+  r.data_bytes_sent = 120'000;
+  r.retransmit_bytes_sent = 2'500;
+  r.ack_bytes_sent = 37'700;
+  r.metrics.counters = {{"rel.data_sent", 3073}, {"rt.rounds", 431}};
+  r.metrics.gauges = {{"udp.rcvbuf_bytes", 425'984}};
+  {
+    obs::HistogramSnapshot h;
+    h.name = "rt.round_rtt_ns";
+    h.count = 431;
+    h.sum = 431'000'000;
+    h.buckets = {{200, 430}, {212, 1}};
+    r.metrics.histograms = {std::move(h)};
+  }
   r.suspected = {5, 7};
   r.events = {
       ReportEvent{1'000'000, 5, 0, 3},
@@ -90,6 +106,16 @@ TEST(NodeReportCodec, GarbageLengthFieldRejectedWithoutAllocating) {
   auto bytes = encode_report(r);
   const std::size_t event_count_at = bytes.size() - r.events.size() * 21 - 4;
   for (std::size_t i = 0; i < 4; ++i) bytes[event_count_at + i] = 0xFF;
+  EXPECT_FALSE(decode_report(bytes).has_value());
+}
+
+TEST(NodeReportCodec, GarbageMetricCountsRejected) {
+  // The embedded registry snapshot's counts are sanity-checked against the
+  // buffer size too: flood the counter-count field (the first u32 after the
+  // fixed header of 4 magic + 4 version + 12 ids + 2 bools + 28 u64s).
+  auto bytes = encode_report(sample_report());
+  const std::size_t counter_count_at = 4 + 4 + 12 + 2 + 28 * 8;
+  for (std::size_t i = 0; i < 4; ++i) bytes[counter_count_at + i] = 0xFF;
   EXPECT_FALSE(decode_report(bytes).has_value());
 }
 
