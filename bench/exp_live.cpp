@@ -15,6 +15,7 @@
 //
 //   ./build/bench/exp_live --sizes 8,32,64 --run 10
 //   ./build/bench/exp_live --sizes 128 --period 200 --mode delta
+#include <algorithm>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -75,6 +76,24 @@ struct LiveResult {
   // Round RTT percentiles from the cluster-merged rt.round_rtt_ns histogram.
   double round_rtt_p50_ms{0};
   double round_rtt_p99_ms{0};
+  // Detection-latency attribution from the assembled cross-node trace: each
+  // observer's latency split into round-pacing, resend-wait and wire time
+  // (the three sum to the latency exactly). Per crash below; the flat means
+  // average over every (crash, observer) pair.
+  struct CrashBreakdown {
+    std::uint32_t victim{0};
+    std::size_t observers{0};
+    std::uint32_t undetected{0};
+    double latency_mean_ms{0};
+    double pacing_mean_ms{0};
+    double resend_wait_mean_ms{0};
+    double wire_mean_ms{0};
+  };
+  std::vector<CrashBreakdown> breakdowns;
+  double pacing_mean_ms{0};
+  double resend_wait_mean_ms{0};
+  double wire_mean_ms{0};
+  std::size_t trace_causal_violations{0};
 };
 
 [[nodiscard]] bool write_json(const std::vector<LiveResult>& results,
@@ -118,7 +137,24 @@ struct LiveResult {
        << ", \"recv_errors\": " << r.recv_errors
        << ", \"malformed\": " << r.malformed
        << ", \"unexpected_exits\": " << r.unexpected_exits
-       << ", \"missing_reports\": " << r.missing_reports << "}";
+       << ", \"missing_reports\": " << r.missing_reports
+       << ", \"pacing_mean_ms\": " << r.pacing_mean_ms
+       << ", \"resend_wait_mean_ms\": " << r.resend_wait_mean_ms
+       << ", \"wire_mean_ms\": " << r.wire_mean_ms
+       << ", \"trace_causal_violations\": " << r.trace_causal_violations
+       << ", \"crash_breakdowns\": [";
+    bool first_crash = true;
+    for (const auto& b : r.breakdowns) {
+      os << (first_crash ? "" : ", ") << "{\"victim\": " << b.victim
+         << ", \"observers\": " << b.observers
+         << ", \"undetected\": " << b.undetected
+         << ", \"latency_mean_ms\": " << b.latency_mean_ms
+         << ", \"pacing_mean_ms\": " << b.pacing_mean_ms
+         << ", \"resend_wait_mean_ms\": " << b.resend_wait_mean_ms
+         << ", \"wire_mean_ms\": " << b.wire_mean_ms << "}";
+      first_crash = false;
+    }
+    os << "]}";
   }
   os << "\n  ]\n}\n";
   os.flush();
@@ -148,7 +184,10 @@ int main(int argc, char** argv) {
       .flag("report-dir", "", "node report directory (empty = <out>.reports)")
       .flag("flush-ms", "200", "node report snapshot interval (ms)")
       .flag("out", "BENCH_live.json", "JSON output path")
-      .flag("csv", "false", "emit CSV instead of an aligned table");
+      .flag("csv", "false", "emit CSV instead of an aligned table")
+      .flag("trace", "true",
+            "harvest flight rings and attribute detection latency "
+            "(pacing/resend-wait/wire) from the assembled cross-node trace");
   if (!args.parse(argc, argv)) return 0;
 
   std::vector<std::uint32_t> sizes;
@@ -260,6 +299,13 @@ int main(int argc, char** argv) {
     scfg.delta = c.delta;
     scfg.reliable = reliable;
     scfg.flush = from_millis(static_cast<double>(args.get_int("flush-ms")));
+    scfg.trace = args.get_bool("trace");
+    // The causal kinds cost O(n) records per round, so a fixed-size ring
+    // wraps past early crashes at n=64 and their suspect_add events vanish
+    // before the end-of-run harvest. Scale the ring so it spans the whole
+    // sweep: ~2n records per round per node, `run_s / pacing` rounds.
+    scfg.trace_capacity =
+        std::max<std::uint32_t>(16384, c.n * 1024);
     scfg.node_binary = args.get("node-bin");
     scfg.report_dir = report_root + "/n" + std::to_string(c.n) + "_s" +
                       std::to_string(c.seed) +
@@ -316,6 +362,42 @@ int main(int argc, char** argv) {
     r.malformed = run.malformed;
     r.unexpected_exits = run.unexpected_exits;
     r.missing_reports = run.missing_reports;
+    if (run.trace) {
+      r.trace_causal_violations = run.trace->causal_violations;
+      double pacing_sum = 0, resend_sum = 0, wire_sum = 0;
+      std::size_t observers_total = 0;
+      for (const obs::CrashTimeline& ct : run.trace->crashes) {
+        LiveResult::CrashBreakdown b;
+        b.victim = ct.victim;
+        b.observers = ct.observers.size();
+        b.undetected = ct.undetected;
+        double lat = 0, pace = 0, resend = 0, wire = 0;
+        for (const obs::ObserverBreakdown& ob : ct.observers) {
+          lat += static_cast<double>(ob.latency_ns);
+          pace += static_cast<double>(ob.pacing_ns);
+          resend += static_cast<double>(ob.resend_wait_ns);
+          wire += static_cast<double>(ob.wire_ns);
+        }
+        if (!ct.observers.empty()) {
+          const auto k = static_cast<double>(ct.observers.size());
+          b.latency_mean_ms = lat / k / 1e6;
+          b.pacing_mean_ms = pace / k / 1e6;
+          b.resend_wait_mean_ms = resend / k / 1e6;
+          b.wire_mean_ms = wire / k / 1e6;
+        }
+        pacing_sum += pace;
+        resend_sum += resend;
+        wire_sum += wire;
+        observers_total += ct.observers.size();
+        r.breakdowns.push_back(b);
+      }
+      if (observers_total > 0) {
+        const auto k = static_cast<double>(observers_total);
+        r.pacing_mean_ms = pacing_sum / k / 1e6;
+        r.resend_wait_mean_ms = resend_sum / k / 1e6;
+        r.wire_mean_ms = wire_sum / k / 1e6;
+      }
+    }
     results.push_back(r);
 
     std::cerr << "[exp_live]   " << run.rounds << " rounds total, "
@@ -324,9 +406,9 @@ int main(int argc, char** argv) {
   }
 
   Table table({"n", "f", "seed", "delta", "kills", "det_mean_s", "det_p99_s",
-               "rtt_p50_ms", "complete", "false_susp", "B_per_query",
-               "wire_B_per_q", "delta_q", "full_q", "need_full", "trunc",
-               "errs"});
+               "pace_ms", "resend_ms", "wire_ms", "rtt_p50_ms", "complete",
+               "false_susp", "B_per_query", "wire_B_per_q", "delta_q",
+               "full_q", "need_full", "trunc", "errs"});
   for (const auto& r : results) {
     table.add_row({Table::num(std::uint64_t{r.n}),
                    Table::num(std::uint64_t{r.f}), Table::num(r.seed),
@@ -334,6 +416,9 @@ int main(int argc, char** argv) {
                    Table::num(std::uint64_t{r.crashes}),
                    Table::num(r.detection_mean_s),
                    Table::num(r.detection_p99_s),
+                   Table::num(r.pacing_mean_ms),
+                   Table::num(r.resend_wait_mean_ms),
+                   Table::num(r.wire_mean_ms),
                    Table::num(r.round_rtt_p50_ms),
                    r.strong_completeness ? "yes" : "no",
                    Table::num(std::uint64_t{r.false_suspicions}),

@@ -13,6 +13,10 @@ configuration key and flags metric movements outside a tolerance band:
   * detection_p99_s     — higher is a regression
   * round_rtt_p50_ms    — higher is a regression
   * round_rtt_p99_ms    — higher is a regression
+  * pacing_mean_ms      — higher is a regression (detection-latency share
+  * resend_wait_mean_ms   spent waiting for the round to open, on resend
+  * wire_mean_ms          waves, and on the wire — from the assembled
+                          cross-node trace; the three sum to the latency)
 
 The key includes the engine/shards columns exp_scale emits, so a serial and
 a sharded run of the same (n, f, seed) never get compared to each other.
@@ -40,6 +44,9 @@ METRICS = {
     "detection_p99_s": "down",
     "round_rtt_p50_ms": "down",
     "round_rtt_p99_ms": "down",
+    "pacing_mean_ms": "down",
+    "resend_wait_mean_ms": "down",
+    "wire_mean_ms": "down",
 }
 KEY_FIELDS = ("n", "f", "seed", "delta", "reliable", "engine", "shards")
 

@@ -1,7 +1,11 @@
 #include "live/node_runtime.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <csignal>
+#include <cstring>
 #include <cstdint>
 #include <iostream>
 #include <mutex>
@@ -31,6 +35,28 @@ volatile std::sig_atomic_t g_dump_trace = 0;
 
 void on_signal(int) { g_stop = 1; }
 void on_dump_signal(int) { g_dump_trace = 1; }
+
+// Best-effort flight-ring flush on abnormal termination: SIGSEGV/SIGABRT
+// (and friends) dump the ring in the binary format before re-raising, so
+// post-mortem traces survive crashes nobody scheduled. Strictly
+// async-signal-safe — open/write/close only, path pre-formatted into a
+// static buffer, and dump_binary_fd takes no locks (a torn record from a
+// fault mid-record() is dropped by the loader).
+const obs::FlightRecorder* g_crash_recorder = nullptr;
+char g_crash_trace_path[512] = {0};
+
+void on_fatal_signal(int sig) {
+  if (g_crash_recorder != nullptr && g_crash_trace_path[0] != '\0') {
+    const int fd =
+        ::open(g_crash_trace_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      g_crash_recorder->dump_binary_fd(fd);
+      ::close(fd);
+    }
+  }
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
 
 /// Collects suspicion transitions stamped with wall-clock ns since the run
 /// origin. Callbacks arrive with the detector mutex held; this observer
@@ -122,6 +148,9 @@ int node_main(int argc, const char* const* argv) {
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
   std::signal(SIGUSR1, on_dump_signal);
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    std::signal(sig, on_fatal_signal);
+  }
 
   // One registry shared by every layer of this process's stack, and one
   // flight recorder the detector layers trace into. Both are dumped on
@@ -129,6 +158,14 @@ int node_main(int argc, const char* const* argv) {
   obs::MetricsRegistry registry;
   obs::FlightRecorder recorder(
       static_cast<std::size_t>(args.get_int("trace-cap")));
+  if (!report_path.empty()) {
+    const std::string crash_trace = report_path + ".crash.trace";
+    if (crash_trace.size() < sizeof(g_crash_trace_path)) {
+      std::memcpy(g_crash_trace_path, crash_trace.c_str(),
+                  crash_trace.size() + 1);
+    }
+  }
+  g_crash_recorder = &recorder;
 
   transport::UdpConfig ucfg;
   ucfg.self = ProcessId{self};
@@ -166,6 +203,7 @@ int node_main(int argc, const char* const* argv) {
   if (reliable) {
     transport::ReliableConfig rel_cfg;
     rel_cfg.registry = &registry;
+    rel_cfg.recorder = &recorder;
     reliable_layer.emplace(*datagrams, rel_cfg);
     datagrams = &*reliable_layer;
   }

@@ -84,6 +84,11 @@ void Supervisor::spawn(Proc& p) {
   const std::string report = report_path(p.id, p.spawns);
   std::error_code ec;
   std::filesystem::remove(report, ec);  // never harvest a stale run's file
+  // Same for the flight-ring dumps: a leftover node<i>.g<g>.bin.trace from a
+  // previous run in the same report_dir would otherwise be stitched into this
+  // run's timeline as if it were fresh.
+  std::filesystem::remove(report + ".trace", ec);
+  std::filesystem::remove(report + ".crash.trace", ec);
 
   std::vector<std::string> argstrs = {
       node_binary_,
@@ -103,6 +108,9 @@ void Supervisor::spawn(Proc& p) {
       "--giveup=" + std::to_string(config_.giveup_rounds),
       "--resync=" + std::to_string(config_.resync_interval),
   };
+  if (config_.trace) {
+    argstrs.push_back("--trace-cap=" + std::to_string(config_.trace_capacity));
+  }
   if (config_.fault_drop > 0.0 || config_.fault_dup > 0.0 ||
       config_.fault_reorder > 0.0 || config_.fault_corrupt > 0.0 ||
       config_.fault_truncate > 0.0) {
@@ -284,6 +292,33 @@ LiveRunResult Supervisor::run(const std::vector<CrashEvent>& schedule,
     throw;
   }
 
+  // Flight-ring harvest, strictly before SIGTERM: SIGUSR1 asks each live
+  // node to dump its ring, but nodes only notice the flag on their 20 ms
+  // poll — a SIGTERM sent in the same breath could win the race and the
+  // dump request would die with the process. So signal, then wait (bounded)
+  // for the .trace files to land.
+  reap();
+  if (config_.trace) {
+    std::vector<std::string> expected;
+    for (Proc& p : procs) {
+      if (p.alive && p.pid > 0 && !p.report_paths.empty()) {
+        ::kill(p.pid, SIGUSR1);
+        expected.push_back(p.report_paths.back() + ".trace");
+      }
+    }
+    const auto dump_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(3);
+    while (std::chrono::steady_clock::now() < dump_deadline) {
+      std::error_code dump_ec;
+      const bool all = std::all_of(
+          expected.begin(), expected.end(), [&](const std::string& f) {
+            return std::filesystem::exists(f, dump_ec);
+          });
+      if (all) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
   // Graceful shutdown: SIGTERM triggers each node's final report flush.
   reap();
   for (Proc& p : procs) {
@@ -315,7 +350,53 @@ LiveRunResult Supervisor::run(const std::vector<CrashEvent>& schedule,
   }
 
   aggregate(procs, horizon, result);
+  if (config_.trace) assemble_traces(procs, result);
   return result;
+}
+
+void Supervisor::assemble_traces(const std::vector<Proc>& procs,
+                                 LiveRunResult& result) const {
+  namespace fs = std::filesystem;
+  obs::TraceManifest manifest;
+  manifest.n = config_.n;
+  manifest.origin_ns = origin_ns_;
+  manifest.pacing_ns = static_cast<std::uint64_t>(config_.pacing.count());
+  manifest.resend_ns = static_cast<std::uint64_t>(config_.resend.count());
+  for (const LiveCrash& c : result.crashes) {
+    manifest.crashes.push_back({c.victim.value, c.at.count(), c.restarted});
+  }
+  std::error_code ec;
+  for (const Proc& p : procs) {
+    for (std::size_t g = 0; g < p.report_paths.size(); ++g) {
+      // Prefer the SIGUSR1 dump; the fatal-signal binary dump is the
+      // fallback for an incarnation that died before it could be asked.
+      std::string file = p.report_paths[g] + ".trace";
+      if (!fs::exists(file, ec)) {
+        file = p.report_paths[g] + ".crash.trace";
+        if (!fs::exists(file, ec)) continue;
+      }
+      manifest.traces.push_back({p.id.value, static_cast<std::uint32_t>(g),
+                                 fs::path(file).filename().string()});
+    }
+  }
+  const std::string manifest_path =
+      config_.report_dir + "/" + std::string(obs::kTraceManifestName);
+  if (!obs::write_manifest(manifest_path, manifest)) {
+    MMRFD_LOG_WARN("live") << "cannot write " << manifest_path;
+    return;
+  }
+  // Assemble by re-reading the manifest and dump files, not the in-memory
+  // state: the supervisor exercises exactly the offline path mmrfd-trace
+  // walks, so the two can never drift apart.
+  result.trace = obs::assemble_from_dir(config_.report_dir);
+  if (result.trace) {
+    std::ofstream os(config_.report_dir + "/trace_assembled.json",
+                     std::ios::trunc);
+    if (os) os << obs::to_json(*result.trace) << '\n';
+  } else {
+    MMRFD_LOG_WARN("live") << "trace assembly failed for "
+                           << config_.report_dir;
+  }
 }
 
 void Supervisor::aggregate(std::vector<Proc>& procs, Duration horizon,

@@ -23,6 +23,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "live/report.h"
+#include "obs/trace_assembler.h"
 
 namespace mmrfd::live {
 
@@ -65,6 +66,13 @@ struct SupervisorConfig {
   double fault_corrupt{0.0};
   double fault_truncate{0.0};
   std::uint64_t fault_seed{1};
+
+  /// Cross-node causal tracing: harvest every node's flight ring at the end
+  /// of the run (SIGUSR1 before SIGTERM), write a trace_manifest.txt next to
+  /// the dumps, and assemble the cluster-wide timeline with skew-aligned
+  /// detection-latency attribution into LiveRunResult::trace.
+  bool trace{false};
+  std::uint32_t trace_capacity{16384};  ///< per-node ring size when tracing
 };
 
 /// Wall-clock record of one kill actually performed.
@@ -121,6 +129,12 @@ struct LiveRunResult {
   /// union of all nodes' samples).
   obs::RegistrySnapshot metrics;
 
+  /// Assembled cross-node causal timeline (SupervisorConfig::trace only):
+  /// per-crash detection latencies attributed to round-pacing, resend-wait
+  /// and wire time, with per-node clock-skew estimates. Also written to
+  /// <report_dir>/trace_assembled.json.
+  std::optional<obs::AssembledTrace> trace;
+
   [[nodiscard]] std::uint64_t queries_sent() const {
     return full_queries_sent + delta_queries_sent;
   }
@@ -175,6 +189,8 @@ class Supervisor {
   [[nodiscard]] std::string report_path(ProcessId id, int incarnation) const;
   void aggregate(std::vector<Proc>& procs, Duration horizon,
                  LiveRunResult& result) const;
+  void assemble_traces(const std::vector<Proc>& procs,
+                       LiveRunResult& result) const;
 
   SupervisorConfig config_;
   std::string node_binary_;

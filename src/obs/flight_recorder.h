@@ -45,9 +45,28 @@ enum class TraceKind : std::uint8_t {
   kResync = 11,      // a = journal epoch at reset
   kGiveUpSkip = 12,  // a = peer skipped this round
   kResendWave = 13,  // a = wave number, b = silent peer count
+
+  // Causal-tracing kinds (PR 10): these name the *remote* event a local
+  // record was caused by, so the TraceAssembler can stitch per-node rings
+  // into one cross-node happened-before graph.
+  kQuorum = 14,         // a = round seq (low 32), b = responders at quorum
+  kQueryTxSeq = 15,     // a = peer, b = our round seq (low 32)
+  kResponseTxSeq = 16,  // a = peer, b = echoed query seq (low 32)
+  kResponseRxSeq = 17,  // a = peer, b = echoed query seq (low 32)
+  kPeerRound = 18,      // a = peer, b = peer's own round seq off the wire
+  kRelRetransmit = 19,  // a = peer, b = frame seq (low 32)
+  kRelDuplicate = 20,   // a = peer, b = frame seq (low 32)
 };
 
+// Largest valid TraceKind value; anything outside [1, kMaxTraceKind] in a
+// loaded dump is a torn or corrupt record and gets dropped.
+inline constexpr std::uint8_t kMaxTraceKind = 20;
+
 std::string_view trace_kind_name(TraceKind kind);
+
+// Inverse of trace_kind_name, for parsing text dumps. Returns 0 (an
+// invalid kind) when the name is unknown.
+TraceKind trace_kind_from_name(std::string_view name);
 
 struct TraceRecord {
   std::uint64_t t_ns{0};  // clock stamp
@@ -81,6 +100,23 @@ class FlightRecorder {
   void dump_text(std::ostream& out) const;
   // dump_text to `path` (truncate); returns false on I/O failure.
   bool dump_to_file(const std::string& path) const;
+
+  // Binary dump, ASYNC-SIGNAL-SAFE: no locks, no allocation, no iostream —
+  // only write(2) on an already-open fd. Intended for fatal-signal
+  // handlers, where a concurrently-writing recorder may leave one torn
+  // record in the ring; the loader drops records whose kind falls outside
+  // [1, kMaxTraceKind]. Layout (little-endian):
+  //   8-byte magic "MMRTRCB1", u64 total, u64 capacity,
+  //   capacity x { u64 t_ns, u64 seq, u32 a, u32 b, u8 kind }
+  // Returns false if any write(2) fails.
+  bool dump_binary_fd(int fd) const noexcept;
+  // dump_binary_fd to `path` (truncate). Also lock-free — only call from
+  // a quiescent recorder outside the signal path (tests, shutdown).
+  bool dump_binary_to_file(const std::string& path) const;
+
+  // First bytes of every binary dump, so loaders can sniff the format.
+  static constexpr char kBinaryMagic[8] = {'M', 'M', 'R', 'T',
+                                           'R', 'C', 'B', '1'};
 
  private:
   mutable std::mutex mutex_;

@@ -7,6 +7,17 @@
 
 namespace mmrfd::runtime {
 
+namespace {
+
+// TraceClock adapter: stamp flight-recorder records with sim time so the
+// assembler's timeline lives in the same frame as the EventLog.
+std::uint64_t sim_now_ns(const void* ctx) {
+  return static_cast<std::uint64_t>(
+      static_cast<const sim::Simulation*>(ctx)->now().count());
+}
+
+}  // namespace
+
 std::unique_ptr<net::DelayModel> build_mmr_delays(
     const MmrClusterConfig& config) {
   auto model = net::make_preset(config.delay_preset, config.mean_delay);
@@ -65,6 +76,11 @@ MmrCluster::MmrCluster(const MmrClusterConfig& config)
         stagger_rng.next_double() *
         static_cast<double>(config_.pacing.count())));
     hc.registry = config_.registry;
+    if (config_.trace_capacity > 0) {
+      traces_.push_back(std::make_unique<obs::FlightRecorder>(
+          config_.trace_capacity, obs::TraceClock{&sim_now_ns, &sim_}));
+      hc.recorder = traces_.back().get();
+    }
     hosts_.push_back(std::make_unique<MmrHost>(
         sim_, *net_, hc, &recorder_, log_.observer_for(ProcessId{i})));
   }

@@ -99,6 +99,13 @@ struct MmrClusterConfig {
   /// (merged via telemetry()) so shard workers never share cache lines.
   /// Collection is schedule-neutral; null = off.
   obs::MetricsRegistry* registry{nullptr};
+
+  /// Per-host flight-recorder capacity (records). > 0 gives every host its
+  /// own sim-time-stamped FlightRecorder (see MmrCluster::trace()), the
+  /// ground-truth feed for the TraceAssembler differential test. Recording
+  /// is pure observation — no RNG draws, no scheduling — so fixed-seed
+  /// schedules and golden digests are untouched. 0 = off.
+  std::size_t trace_capacity{0};
 };
 
 /// The config's composed delay model (preset + fast-set bias + spike).
@@ -134,6 +141,11 @@ class MmrCluster {
   [[nodiscard]] std::uint32_t n() const { return config_.n; }
   [[nodiscard]] const MmrClusterConfig& config() const { return config_; }
 
+  /// Host `id`'s flight recorder (null unless config.trace_capacity > 0).
+  [[nodiscard]] obs::FlightRecorder* trace(ProcessId id) {
+    return traces_.empty() ? nullptr : traces_.at(id.value).get();
+  }
+
   /// Ids of processes that have not crashed (yet).
   [[nodiscard]] std::vector<ProcessId> alive() const;
 
@@ -143,6 +155,7 @@ class MmrCluster {
   std::unique_ptr<MmrNetwork> net_;
   metrics::EventLog log_;
   core::PropertyRecorder recorder_;
+  std::vector<std::unique_ptr<obs::FlightRecorder>> traces_;
   std::vector<std::unique_ptr<MmrHost>> hosts_;
   bool started_{false};
 };

@@ -42,17 +42,19 @@ void MmrHost::begin_round() {
   if (crashed_) return;
   round_start_ = sim_.now();
   if (core_.config().delta_queries) {
-    delta_fan_out(net_, core_, id());
+    delta_fan_out(net_, core_, id(), config_.recorder);
   } else {
     core_.begin_query();
     // One payload shared by every delivery event (broadcast()'s allocation
     // profile), but fanned out as a per-peer loop so the give-up policy can
     // skip long-suspected peers. With no skips the per-recipient rng draws
     // are identical to broadcast().
+    const auto round_seq = static_cast<std::uint32_t>(core_.query_seq());
     auto full = std::make_shared<const MmrMessage>(core_.full_query());
     for (ProcessId to : net_.topology().neighbors(id())) {
       if (!core_.should_query(to)) continue;
       net_.send_shared(id(), to, full);
+      trace(obs::TraceKind::kQueryTxSeq, to.value, round_seq);
     }
   }
   // With f = n - 1 the quorum is the self-response alone and the query
@@ -64,6 +66,10 @@ void MmrHost::on_terminated() {
   if (recorder_ != nullptr) {
     recorder_->record(id(), core_.query_seq(), sim_.now(), core_.winning());
   }
+  // Quorum instant under sim time — the assembler's wire/pacing pivot,
+  // mirroring the live RealTimeDetector's kQuorum record.
+  trace(obs::TraceKind::kQuorum, static_cast<std::uint32_t>(core_.query_seq()),
+        static_cast<std::uint32_t>(core_.rec_from().size()));
   // Sim-time round RTT (query start -> quorum): pure observation of now(),
   // no scheduling, so the seeded event order is untouched.
   if (round_rtt_ns_ != nullptr) {
@@ -91,9 +97,19 @@ Duration MmrHost::next_pacing() {
 void MmrHost::handle(ProcessId from, const MmrMessage& msg) {
   if (crashed_) return;
   if (const auto* q = std::get_if<core::QueryMessage>(&msg)) {
+    trace(obs::TraceKind::kQueryRx, from.value,
+          static_cast<std::uint32_t>(q->seq));
     const core::ResponseMessage r = core_.on_query(from, *q);
+    trace(obs::TraceKind::kResponseTxSeq, from.value,
+          static_cast<std::uint32_t>(r.seq));
     net_.send(id(), from, MmrMessage{r});
   } else if (const auto* r = std::get_if<core::ResponseMessage>(&msg)) {
+    trace(obs::TraceKind::kResponseRxSeq, from.value,
+          static_cast<std::uint32_t>(r->seq));
+    if (r->origin_seq != 0) {
+      trace(obs::TraceKind::kPeerRound, from.value,
+            static_cast<std::uint32_t>(r->origin_seq));
+    }
     if (core_.on_response(from, *r)) on_terminated();
   }
 }

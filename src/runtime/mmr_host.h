@@ -19,6 +19,7 @@
 #include "core/messages.h"
 #include "core/properties.h"
 #include "net/network.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "sim/simulation.h"
 
@@ -36,12 +37,17 @@ using MmrNetwork = net::Network<MmrMessage>;
 /// topology order keeps the per-recipient rng draws identical to
 /// broadcast(), so fixed-seed schedules match the full-encoding path bit
 /// for bit — the invariant the golden digests pin. `Core` needs
-/// begin_query / full_query_needed / full_query / query_for; cores that
-/// also expose should_query (the crashed-peer give-up policy) get
-/// long-suspected peers skipped entirely.
+/// begin_query / full_query_needed / full_query / query_for / query_seq;
+/// cores that also expose should_query (the crashed-peer give-up policy)
+/// get long-suspected peers skipped entirely. An optional FlightRecorder
+/// gets one kQueryTxSeq causal record per peer actually queried —
+/// recording draws no randomness and schedules nothing, so fixed-seed
+/// schedules are untouched.
 template <typename Core>
-void delta_fan_out(MmrNetwork& net, Core& core, ProcessId self) {
+void delta_fan_out(MmrNetwork& net, Core& core, ProcessId self,
+                   obs::FlightRecorder* rec = nullptr) {
   core.begin_query();
+  const auto round_seq = static_cast<std::uint32_t>(core.query_seq());
   std::shared_ptr<const MmrMessage> full;
   for (ProcessId to : net.topology().neighbors(self)) {
     if constexpr (requires { core.should_query(to); }) {
@@ -54,6 +60,9 @@ void delta_fan_out(MmrNetwork& net, Core& core, ProcessId self) {
       net.send_shared(self, to, full);
     } else {
       net.send(self, to, MmrMessage{core.query_for(to)});
+    }
+    if (rec != nullptr) {
+      rec->record(obs::TraceKind::kQueryTxSeq, to.value, round_seq);
     }
   }
 }
@@ -106,6 +115,10 @@ class MmrHost {
   void begin_round();
   void on_terminated();
   void handle(ProcessId from, const MmrMessage& msg);
+
+  void trace(obs::TraceKind kind, std::uint32_t a = 0, std::uint32_t b = 0) {
+    if (config_.recorder != nullptr) config_.recorder->record(kind, a, b);
+  }
 
   [[nodiscard]] Duration next_pacing();
 

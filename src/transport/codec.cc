@@ -12,7 +12,8 @@ constexpr std::uint8_t kQueryHasEpoch = 2;  // epoch field present (nonzero)
 
 // Response payload flags.
 constexpr std::uint8_t kRespNeedFull = 1;
-constexpr std::uint8_t kRespHasAck = 2;  // ack_epoch field present (nonzero)
+constexpr std::uint8_t kRespHasAck = 2;    // ack_epoch field present (nonzero)
+constexpr std::uint8_t kRespHasOrigin = 4;  // origin_seq field present (nonzero)
 }  // namespace
 
 void Encoder::u32(std::uint32_t v) {
@@ -117,8 +118,10 @@ void encode(Encoder& e, const core::ResponseMessage& m) {
   std::uint8_t flags = 0;
   if (m.need_full) flags |= kRespNeedFull;
   if (m.ack_epoch != 0) flags |= kRespHasAck;
+  if (m.origin_seq != 0) flags |= kRespHasOrigin;
   e.u8(flags);
   if (m.ack_epoch != 0) e.uvarint(m.ack_epoch);
+  if (m.origin_seq != 0) e.uvarint(m.origin_seq);
 }
 
 std::optional<core::QueryMessage> decode_query(Decoder& d) {
@@ -160,7 +163,9 @@ std::optional<core::ResponseMessage> decode_response(Decoder& d) {
   const auto seq = d.u64();
   const auto flags = d.u8();
   if (!seq || !flags) return std::nullopt;
-  if ((*flags & ~(kRespNeedFull | kRespHasAck)) != 0) return std::nullopt;
+  if ((*flags & ~(kRespNeedFull | kRespHasAck | kRespHasOrigin)) != 0) {
+    return std::nullopt;
+  }
   core::ResponseMessage m;
   m.seq = *seq;
   m.need_full = (*flags & kRespNeedFull) != 0;
@@ -168,6 +173,11 @@ std::optional<core::ResponseMessage> decode_response(Decoder& d) {
     const auto ack = d.uvarint();
     if (!ack || *ack == 0) return std::nullopt;
     m.ack_epoch = *ack;
+  }
+  if ((*flags & kRespHasOrigin) != 0) {
+    const auto origin = d.uvarint();
+    if (!origin || *origin == 0) return std::nullopt;  // canonical: flag <=> nonzero
+    m.origin_seq = *origin;
   }
   return m;
 }
@@ -194,7 +204,8 @@ std::size_t wire_size(const core::QueryMessage& m) {
 
 std::size_t wire_size(const core::ResponseMessage& m) {
   return kEnvelopeHeader + 8 + 1 +
-         (m.ack_epoch != 0 ? uvarint_size(m.ack_epoch) : 0);
+         (m.ack_epoch != 0 ? uvarint_size(m.ack_epoch) : 0) +
+         (m.origin_seq != 0 ? uvarint_size(m.origin_seq) : 0);
 }
 
 std::vector<std::uint8_t> encode_envelope(ProcessId sender,

@@ -13,6 +13,9 @@
 // base_epoch; the stable remainder of the sets travels as that one interned
 // integer. Response payload:
 //   [u64 seq][u8 flags][uvarint ack_epoch if flags&kHasAck]
+//   [uvarint origin_seq if flags&kHasOrigin]
+// origin_seq is the causal-tracing context (the responder's own round
+// sequence); only the live path sets it, so simulator bytes are unchanged.
 // Epoch fields are LEB128 varints (epochs count state changes — small for
 // most of a run, so the delta header costs single-digit bytes). Decoding is
 // total: malformed input yields nullopt, never UB.

@@ -86,6 +86,10 @@ void RealTimeDetector::driver_loop() {
     std::uint32_t skipped = 0;
     WireMessage full;
     core_.begin_query();
+    // Captured under the lock: the round sequence stamped into every
+    // causal-trace record this round (kQueryTxSeq / kQuorum).
+    const std::uint32_t round_seq =
+        static_cast<std::uint32_t>(core_.query_seq());
     const auto round_start = std::chrono::steady_clock::now();
     bool full_built = false;
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -131,6 +135,7 @@ void RealTimeDetector::driver_loop() {
       for (const ProcessId to : full_peers) {
         trace(obs::TraceKind::kQueryTx, to.value,
               static_cast<std::uint32_t>(full_bytes));
+        trace(obs::TraceKind::kQueryTxSeq, to.value, round_seq);
       }
     }
     delta_queries_sent_->add(deltas.size());
@@ -139,6 +144,7 @@ void RealTimeDetector::driver_loop() {
       query_bytes_sent_->add(bytes);
       trace(obs::TraceKind::kQueryTx, to.value,
             static_cast<std::uint32_t>(bytes));
+      trace(obs::TraceKind::kQueryTxSeq, to.value, round_seq);
     }
     lock.lock();
     // Wait for the quorum-th response (self counts already); re-checked on
@@ -184,11 +190,19 @@ void RealTimeDetector::driver_loop() {
       resend_waves_->add(1);
       trace(obs::TraceKind::kResendWave, resend_waves,
             static_cast<std::uint32_t>(silent.size()));
+      for (const ProcessId to : silent) {
+        trace(obs::TraceKind::kQueryTxSeq, to.value, round_seq);
+      }
       full_queries_sent_->add(silent.size());
       query_bytes_sent_->add(query_size(refresh) * silent.size());
       lock.lock();
     }
     if (stopping_) return;
+    // Quorum instant: the trace record the assembler's wire/resend-wait
+    // split pivots on — everything between round open and here is quorum
+    // assembly, everything after is pacing.
+    trace(obs::TraceKind::kQuorum, round_seq,
+          static_cast<std::uint32_t>(core_.rec_from().size()));
     // Quorum reached: the wall-clock span from query build to termination
     // is the round's RTT (the paper's "query round trip"), the live
     // counterpart of the simulator's round-RTT histogram.
@@ -213,17 +227,28 @@ void RealTimeDetector::on_datagram(ProcessId from, const WireMessage& msg) {
     {
       std::lock_guard lock(mutex_);
       response = core_.on_query(from, *q);
+      // Piggyback the causal context: our own current round sequence, so
+      // the querier's rx record can name the remote round it overlapped.
+      response.origin_seq = core_.query_seq();
     }
     if (response.need_full) need_full_sent_->add(1);
     responses_sent_->add(1);
     response_bytes_sent_->add(wire_size(response));
     trace(obs::TraceKind::kResponseTx, from.value,
           response.need_full ? 1 : 0);
+    trace(obs::TraceKind::kResponseTxSeq, from.value,
+          static_cast<std::uint32_t>(response.seq));
     transport_.send(from, WireMessage{response});
   } else if (const auto* r = std::get_if<core::ResponseMessage>(&msg)) {
     responses_received_->add(1);
     if (r->need_full) need_full_received_->add(1);
     trace(obs::TraceKind::kResponseRx, from.value, r->need_full ? 1 : 0);
+    trace(obs::TraceKind::kResponseRxSeq, from.value,
+          static_cast<std::uint32_t>(r->seq));
+    if (r->origin_seq != 0) {
+      trace(obs::TraceKind::kPeerRound, from.value,
+            static_cast<std::uint32_t>(r->origin_seq));
+    }
     bool terminated = false;
     {
       std::lock_guard lock(mutex_);

@@ -154,7 +154,13 @@ void ReliableDatagram::on_frame(std::span<const std::uint8_t> frame) {
     fresh = seen_.at(*sender).mark(*seq);
     handler = handler_;
   }
-  if (!fresh) duplicates_->add(1);
+  if (!fresh) {
+    duplicates_->add(1);
+    if (config_.recorder != nullptr) {
+      config_.recorder->record(obs::TraceKind::kRelDuplicate, *sender,
+                               static_cast<std::uint32_t>(*seq));
+    }
+  }
   if (fresh && handler) {
     handler(frame.subspan(kFrameHeader));
   }
@@ -182,6 +188,11 @@ void ReliableDatagram::retransmit_loop() {
         continue;
       }
       retransmissions_->add(1);
+      if (config_.recorder != nullptr) {
+        config_.recorder->record(obs::TraceKind::kRelRetransmit,
+                                 it->second.to.value,
+                                 static_cast<std::uint32_t>(it->first.second));
+      }
       it->second.last_send = now;
       resend.emplace_back(it->second.to, it->second.frame);
       ++it;

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "transport/datagram.h"
 
@@ -69,6 +70,10 @@ struct ReliableConfig {
   /// Shared metrics registry for the rel.* counters; the layer owns a
   /// private one when null.
   obs::MetricsRegistry* registry{nullptr};
+  /// Optional flight recorder: retransmissions and suppressed duplicates
+  /// get kRelRetransmit / kRelDuplicate records, so assembled timelines
+  /// can tell first-transmission latency from resend recovery.
+  obs::FlightRecorder* recorder{nullptr};
 };
 
 struct ReliableStats {

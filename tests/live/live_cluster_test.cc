@@ -445,5 +445,117 @@ TEST(LiveCluster, Sigusr1DumpsFlightRecorder) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(LiveCluster, FatalSignalDumpsBinaryTrace) {
+  // An abnormally-dying node must leave a loadable post-mortem of its
+  // flight ring: the SIGABRT handler writes the binary dump with only
+  // async-signal-safe calls before re-raising. SIGABRT (not SIGKILL —
+  // nothing can handle that) stands in for any fatal fault.
+  const std::string dir = fresh_report_dir("fatal");
+  std::filesystem::create_directories(dir);
+  const std::string report = dir + "/node0.g0.bin";
+  const std::string binary = default_node_binary();
+
+  const std::vector<std::string> arg_strings = {
+      binary,          "--self=0",          "--n=2",
+      "--f=1",         "--base-port=48500", "--pacing-ms=20",
+      "--flush-ms=50", "--report=" + report};
+  std::vector<char*> argv;
+  argv.reserve(arg_strings.size() + 1);
+  for (const std::string& s : arg_strings) {
+    argv.push_back(const_cast<char*>(s.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::execv(binary.c_str(), argv.data());
+    _exit(127);  // exec failed
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(1000));
+  ASSERT_EQ(::kill(pid, SIGABRT), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "node exited instead of dying";
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  const std::string crash_trace = report + ".crash.trace";
+  ASSERT_TRUE(std::filesystem::exists(crash_trace));
+  const auto records = obs::load_trace_records(crash_trace);
+  ASSERT_TRUE(records.has_value()) << "unloadable crash dump";
+  EXPECT_GT(records->size(), 0u);
+  bool saw_round_open = false;
+  for (const obs::TraceRecord& r : *records) {
+    const auto kind = static_cast<std::uint8_t>(r.kind);
+    EXPECT_GE(kind, 1);
+    EXPECT_LE(kind, obs::kMaxTraceKind);
+    if (r.kind == obs::TraceKind::kRoundOpen) saw_round_open = true;
+  }
+  EXPECT_TRUE(saw_round_open);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(LiveCluster, SupervisorHarvestsAndAssemblesTraces) {
+  // End-to-end tracing over real processes: the supervisor SIGUSR1s every
+  // surviving node before SIGTERM, writes the manifest, and assembles the
+  // cluster-wide timeline — whose per-observer latency attribution must
+  // sum exactly even on wall clocks with estimated skew.
+  SupervisorConfig cfg;
+  cfg.n = 6;
+  cfg.f = 2;
+  cfg.base_port = 48600;
+  cfg.pacing = from_millis(50);
+  cfg.flush = from_millis(100);
+  cfg.trace = true;
+  cfg.report_dir = fresh_report_dir("traceharvest");
+
+  // Satellite regression: a stale dump from a "previous run" in the same
+  // directory must be removed at spawn, never stitched into this run. The
+  // victim dies by SIGKILL (no crash dump) and node 0 exits gracefully (no
+  // crash dump either), so if this file survives to the end, spawn() leaked
+  // it.
+  std::filesystem::create_directories(cfg.report_dir);
+  const std::string stale = cfg.report_dir + "/node0.g0.bin.crash.trace";
+  { std::ofstream os(stale); os << "stale garbage\n"; }
+
+  Supervisor supervisor(cfg);
+  const std::vector<CrashEvent> schedule = {
+      {ProcessId{5}, from_seconds(2), std::nullopt}};
+  const LiveRunResult result = supervisor.run(schedule, from_seconds(6));
+
+  EXPECT_FALSE(std::filesystem::exists(stale))
+      << "stale crash dump survived spawn";
+  EXPECT_TRUE(std::filesystem::exists(cfg.report_dir + "/" +
+                                      std::string(obs::kTraceManifestName)));
+  EXPECT_TRUE(
+      std::filesystem::exists(cfg.report_dir + "/trace_assembled.json"));
+
+  ASSERT_TRUE(result.trace.has_value());
+  EXPECT_GT(result.trace->records, 0u);
+  EXPECT_GT(result.trace->matched_pairs, 0u);
+  ASSERT_EQ(result.trace->crashes.size(), 1u);
+  const obs::CrashTimeline& ct = result.trace->crashes[0];
+  EXPECT_EQ(ct.victim, 5u);
+  EXPECT_GT(ct.observers.size(), 0u);
+  EXPECT_EQ(ct.observers.size() + ct.undetected, cfg.n - 1);
+  for (const obs::ObserverBreakdown& ob : ct.observers) {
+    EXPECT_EQ(ob.pacing_ns + ob.resend_wait_ns + ob.wire_ns, ob.latency_ns)
+        << "observer " << ob.observer;
+  }
+  if (ct.undetected == 0) {
+    EXPECT_TRUE(ct.stable_ns.has_value());
+  }
+  // Every surviving node answered the SIGUSR1 harvest with a dump.
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(std::filesystem::exists(cfg.report_dir + "/node" +
+                                        std::to_string(i) + ".g0.bin.trace"))
+        << "node " << i;
+  }
+
+  std::filesystem::remove_all(cfg.report_dir);
+}
+
 }  // namespace
 }  // namespace mmrfd::live

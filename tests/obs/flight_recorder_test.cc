@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace mmrfd::obs {
 namespace {
@@ -96,6 +97,22 @@ TEST(TraceKindName, CoversEveryKind) {
   EXPECT_EQ(trace_kind_name(TraceKind::kResync), "resync");
   EXPECT_EQ(trace_kind_name(TraceKind::kGiveUpSkip), "giveup_skip");
   EXPECT_EQ(trace_kind_name(TraceKind::kResendWave), "resend_wave");
+  EXPECT_EQ(trace_kind_name(TraceKind::kQuorum), "quorum");
+  EXPECT_EQ(trace_kind_name(TraceKind::kQueryTxSeq), "query_tx_seq");
+  EXPECT_EQ(trace_kind_name(TraceKind::kResponseTxSeq), "response_tx_seq");
+  EXPECT_EQ(trace_kind_name(TraceKind::kResponseRxSeq), "response_rx_seq");
+  EXPECT_EQ(trace_kind_name(TraceKind::kPeerRound), "peer_round");
+  EXPECT_EQ(trace_kind_name(TraceKind::kRelRetransmit), "rel_retransmit");
+  EXPECT_EQ(trace_kind_name(TraceKind::kRelDuplicate), "rel_duplicate");
+  // Every valid kind value maps to a distinct name, and the parser inverts
+  // the mapping — the text-dump loader depends on this round trip.
+  for (std::uint8_t k = 1; k <= kMaxTraceKind; ++k) {
+    const auto kind = static_cast<TraceKind>(k);
+    const std::string_view name = trace_kind_name(kind);
+    EXPECT_NE(name, "unknown") << "kind " << int{k} << " has no name";
+    EXPECT_EQ(trace_kind_from_name(name), kind) << "kind " << int{k};
+  }
+  EXPECT_EQ(static_cast<std::uint8_t>(trace_kind_from_name("bogus")), 0);
 }
 
 TEST(FlightRecorder, DumpTextFormat) {

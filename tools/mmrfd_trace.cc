@@ -1,0 +1,118 @@
+// mmrfd-trace — offline cross-node trace assembly.
+//
+// Operates on a report directory left behind by a traced supervisor run
+// (live::SupervisorConfig::trace): per-node `.trace` / `.crash.trace`
+// flight-ring dumps plus trace_manifest.txt. Subcommands:
+//
+//   assemble  <dir>   assembly summary: record/pair counts, causal-violation
+//                     count, per-node clock-skew estimates (--json: the full
+//                     assembled document, same shape the supervisor writes
+//                     to trace_assembled.json)
+//   breakdown <dir>   per-crash detection tables: every observer's latency
+//                     split into round-pacing / resend-wait / wire
+//   timeline  <dir>   the merged, skew-aligned, chronological event stream
+//
+// --no-skew skips clock-skew estimation (all rings assumed to share one
+// clock frame); --out=FILE writes to a file instead of stdout.
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/argparse.h"
+#include "obs/trace_assembler.h"
+
+namespace {
+
+using mmrfd::obs::AssembledTrace;
+using mmrfd::obs::SkewEstimate;
+
+void write_summary(std::ostream& out, const AssembledTrace& trace) {
+  out << "records:          " << trace.records << "\n"
+      << "matched pairs:    " << trace.matched_pairs << "\n"
+      << "causal violations:" << (trace.causal_violations == 0 ? " " : " !")
+      << trace.causal_violations << "\n"
+      << "crashes:          " << trace.crashes.size() << "\n";
+  if (!trace.skew.empty()) {
+    out << "\nclock skew (vs node " << trace.skew.front().node << "):\n";
+    char line[160];
+    for (const SkewEstimate& s : trace.skew) {
+      if (!s.reachable) {
+        std::snprintf(line, sizeof(line),
+                      "  node %-4" PRIu32 " unreachable (no matched pairs)\n",
+                      s.node);
+      } else {
+        std::snprintf(line, sizeof(line),
+                      "  node %-4" PRIu32 " offset %+10.3f us  rtt %8.3f us  "
+                      "samples %zu\n",
+                      s.node, static_cast<double>(s.offset_ns) / 1e3,
+                      static_cast<double>(s.min_rtt_ns) / 1e3, s.samples);
+      }
+      out << line;
+    }
+  }
+}
+
+int usage() {
+  std::cerr
+      << "usage: mmrfd-trace <assemble|breakdown|timeline> <report_dir>\n"
+         "                   [--json] [--no-skew] [--out=FILE]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+  if (command != "assemble" && command != "breakdown" &&
+      command != "timeline") {
+    return usage();
+  }
+
+  mmrfd::ArgParser args("mmrfd-trace " + command);
+  args.flag("json", "false", "emit the full assembled document as JSON")
+      .flag("no-skew", "false",
+            "skip clock-skew estimation (rings share one clock)")
+      .flag("out", "", "write output to this file instead of stdout");
+  std::vector<const char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 3; i < argc; ++i) rest.push_back(argv[i]);
+  if (!args.parse(static_cast<int>(rest.size()), rest.data())) return 2;
+
+  const bool estimate_skew = !args.get_bool("no-skew");
+  const bool keep_timeline = command == "timeline";
+  const auto trace =
+      mmrfd::obs::assemble_from_dir(dir, estimate_skew, keep_timeline);
+  if (!trace) {
+    std::cerr << "mmrfd-trace: cannot assemble " << dir << " (missing "
+              << mmrfd::obs::kTraceManifestName << "?)\n";
+    return 1;
+  }
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (const std::string path = args.get("out"); !path.empty()) {
+    file.open(path, std::ios::trunc);
+    if (!file) {
+      std::cerr << "mmrfd-trace: cannot write " << path << "\n";
+      return 1;
+    }
+    out = &file;
+  }
+
+  if (args.get_bool("json")) {
+    *out << mmrfd::obs::to_json(*trace) << "\n";
+  } else if (command == "assemble") {
+    write_summary(*out, *trace);
+  } else if (command == "breakdown") {
+    mmrfd::obs::write_text(*out, *trace);
+  } else {
+    mmrfd::obs::write_timeline(*out, *trace);
+  }
+  return 0;
+}
